@@ -1,0 +1,48 @@
+"""Bench E2: regenerate Figure 4 (TVD distributions, reduced scale).
+
+For each benchmark the bench produces the obfuscated-vs-restored TVD
+pair and asserts the figure's shape: obfuscated TVD is large (the
+random circuit corrupts the function; near 1 for the bigger rd
+circuits), restored TVD is small (only hardware noise remains).
+
+Full-scale series: ``python -m repro.experiments.figure4``.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+from repro.revlib import load_benchmark
+
+_SMALL = ["4gt13", "one_bit_adder", "4mod5"]
+_LARGE = ["rd53"]
+
+
+def _tvd_pair(name: str, iterations: int, shots: int):
+    aggregate = run_benchmark(
+        load_benchmark(name),
+        iterations=iterations,
+        shots=shots,
+        seed=4,
+    )
+    obfuscated = aggregate.tvd_obfuscated_values
+    restored = aggregate.tvd_restored_values
+    return obfuscated, restored
+
+
+@pytest.mark.parametrize("name", _SMALL)
+def test_bench_figure4_small_circuits(benchmark, name):
+    obfuscated, restored = benchmark.pedantic(
+        _tvd_pair, args=(name, 2, 400), rounds=1, iterations=1
+    )
+    assert max(restored) < 0.75
+    assert sum(obfuscated) / len(obfuscated) > sum(restored) / len(restored)
+
+
+@pytest.mark.parametrize("name", _LARGE)
+def test_bench_figure4_large_circuits(benchmark, name):
+    """Large multi-output circuits: obfuscated TVD approaches 1."""
+    obfuscated, restored = benchmark.pedantic(
+        _tvd_pair, args=(name, 1, 300), rounds=1, iterations=1
+    )
+    assert min(obfuscated) > 0.5
+    assert min(obfuscated) > max(restored) - 0.2

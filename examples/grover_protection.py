@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Protect a Grover-search circuit with Hadamard insertion.
+
+The paper (Sec. V-A) tailors the random gate pool to the circuit
+family: X/CX for arithmetic RevLib circuits, but **H gates** for
+circuits like Grover's algorithm whose structure is Hadamard-rich —
+an inserted H is indistinguishable from the algorithm's own gates, so
+structural leakage is lower.
+
+This example protects a 3-qubit Grover search for |101> and shows
+(a) the obfuscated circuit still hides the marked state from a single
+compiler, and (b) the de-obfuscated circuit still finds it.
+
+Run:  python examples/grover_protection.py
+"""
+
+import numpy as np
+
+from repro import TetrisLockObfuscator, interlocking_split
+from repro.circuits import grover_circuit
+from repro.simulator import Statevector, run_counts_batched
+
+
+def main() -> None:
+    marked = 0b101
+    circuit = grover_circuit(3, marked=marked, iterations=2)
+    print(f"Grover circuit: {circuit.size()} gates, "
+          f"depth {circuit.depth()}, searching for |101>")
+
+    ideal = Statevector(3).evolve(circuit)
+    print(f"P(101) ideal: {ideal.probabilities()[marked]:.3f}\n")
+
+    # H-pool insertion per the paper's tailoring rule
+    obfuscator = TetrisLockObfuscator(
+        gate_limit=4, gate_pool=("h",), seed=5
+    )
+    insertion = obfuscator.obfuscate(circuit)
+    print(f"Inserted {insertion.num_pairs} H pair(s); depth "
+          f"{circuit.depth()} -> {insertion.obfuscated.depth()}")
+    inserted_names = {
+        inst.operation.name for inst in insertion.r_instructions()
+    }
+    print(f"Inserted gate types: {inserted_names or 'none'} "
+          "(blend into Grover's own H gates)\n")
+
+    # the compiler-visible circuit RC no longer concentrates on |101>
+    rc = insertion.rc_circuit()
+    corrupted = Statevector(3).evolve(rc)
+    print("What a single compiler could reconstruct (RC):")
+    print(f"  P(101) = {corrupted.probabilities()[marked]:.3f} "
+          "(marked state hidden)" if insertion.num_pairs else "  (no "
+          "insertion possible on this layout)")
+
+    # split, recombine, verify the search still works
+    split = interlocking_split(insertion, seed=6)
+    restored = split.recombined()
+    counts = run_counts_batched(restored.measure_all(), shots=2000, seed=2)
+    print("\nAfter de-obfuscation:")
+    print(f"  counts top-2: {counts.top(2)}")
+    print(f"  P(101) restored: {counts.fraction('101'):.3f}")
+
+
+if __name__ == "__main__":
+    main()

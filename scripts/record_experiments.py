@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Run the full experiment suite and record results for EXPERIMENTS.md.
+
+Iteration counts are scaled by circuit width (the 10–12 qubit circuits
+cost minutes per iteration on a laptop-class machine); the paper uses
+20 iterations everywhere.  Shot count follows the paper (1000).
+
+Writes ``results/experiments.json`` plus the rendered text tables.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro.experiments.ablation_insertion import render_ablation, run_ablation
+from repro.experiments.attack_complexity import (
+    demo_bruteforce_attack,
+    generate_complexity_table,
+    render_complexity_table,
+)
+from repro.experiments.figure4 import generate_figure4, render_figure4
+from repro.experiments.runner import run_benchmark
+from repro.experiments.table1 import render_table1
+from repro.revlib import load_benchmark
+
+ITERATIONS = {
+    "mini_alu": 20, "4mod5": 20, "one_bit_adder": 20, "4gt11": 20,
+    "4gt13": 20, "rd53": 10, "rd73": 3, "rd84": 2,
+}
+SHOTS = {"rd84": 500}
+
+
+def main() -> None:
+    os.makedirs("results", exist_ok=True)
+    results = {}
+    t_start = time.time()
+    for name, iterations in ITERATIONS.items():
+        record = load_benchmark(name)
+        t0 = time.time()
+        aggregate = run_benchmark(
+            record,
+            iterations=iterations,
+            shots=SHOTS.get(name, 1000),
+            seed=2025,
+        )
+        results[name] = aggregate
+        print(
+            f"[{time.time() - t_start:7.1f}s] {name}: "
+            f"{iterations} iterations in {time.time() - t0:.1f}s",
+            flush=True,
+        )
+
+    table1_text = render_table1(results)
+    figure4 = generate_figure4(results=results)
+    figure4_text = render_figure4(figure4)
+    complexity_rows = generate_complexity_table(k=2)
+    complexity_text = render_complexity_table(complexity_rows)
+    demo = demo_bruteforce_attack("4gt13", seed=3)
+    ablation_rows = run_ablation(iterations=10, seed=7)
+    ablation_text = render_ablation(ablation_rows)
+
+    payload = {
+        "iterations": ITERATIONS,
+        "table1": {
+            name: {
+                "depth": agg.depth,
+                "depth_obfuscated": agg.depth_obfuscated,
+                "gates": agg.gates,
+                "gates_obfuscated": agg.gates_obfuscated,
+                "gate_change_pct": agg.gate_change_pct,
+                "accuracy": agg.accuracy,
+                "accuracy_restored": agg.accuracy_restored,
+                "accuracy_change_pct": agg.accuracy_change_pct,
+            }
+            for name, agg in results.items()
+        },
+        "figure4": {
+            name: {
+                kind: {
+                    "median": series[kind].median,
+                    "q1": series[kind].q1,
+                    "q3": series[kind].q3,
+                    "min": series[kind].minimum,
+                    "max": series[kind].maximum,
+                }
+                for kind in ("obfuscated", "restored")
+            }
+            for name, series in figure4.items()
+        },
+        "bruteforce_demo": {
+            "benchmark": demo.benchmark,
+            "candidates": demo.candidates,
+            "matches": demo.matches,
+        },
+    }
+    with open("results/experiments.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    for filename, text in [
+        ("results/table1.txt", table1_text),
+        ("results/figure4.txt", figure4_text),
+        ("results/attack_complexity.txt", complexity_text),
+        ("results/ablation.txt", ablation_text),
+    ]:
+        with open(filename, "w") as fh:
+            fh.write(text + "\n")
+    print("\n" + table1_text)
+    print("\n" + figure4_text)
+    print(f"\ntotal: {time.time() - t_start:.1f}s")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""TetrisLock reproduction: quantum circuit split compilation with
+interlocking patterns (Wang et al., DAC 2025).
+
+Public API tour
+---------------
+* :mod:`repro.circuits` — circuit IR, gates, DAG/layers, QASM, drawer.
+* :mod:`repro.simulator` — statevector / unitary / density /
+  (batched) trajectory engines.
+* :mod:`repro.noise` — channels, noise models, FakeValencia backend.
+* :mod:`repro.transpiler` — the "untrusted compiler": basis
+  translation, layout, routing, optimisation.
+* :mod:`repro.revlib` — RevLib benchmarks and the ``.real`` format.
+* :mod:`repro.synth` — reversible synthesis (MMD) and MCX
+  decompositions.
+* :mod:`repro.core` — **TetrisLock itself**: Algorithm 1 insertion,
+  interlocking split, split compilation, de-obfuscation, Eq. 1
+  attack complexity.
+* :mod:`repro.baselines` — Saki cascading split and Das random
+  insertion, for comparison.
+* :mod:`repro.metrics` — TVD (Eq. 2), accuracy, overhead.
+* :mod:`repro.experiments` — harnesses regenerating Table I,
+  Figure 4 and the attack-complexity analysis.
+
+Quickstart
+----------
+>>> from repro import QuantumCircuit, TetrisLockObfuscator, interlocking_split
+>>> qc = QuantumCircuit(3)
+>>> _ = qc.x(2).ccx(0, 1, 2).cx(0, 1)
+>>> result = TetrisLockObfuscator(seed=7).obfuscate(qc)
+>>> split = interlocking_split(result, seed=7)
+>>> split.recombined().num_qubits
+3
+"""
+
+from .circuits import QuantumCircuit
+from .core import (
+    BruteForceCollusionAttack,
+    EvaluationResult,
+    SplitCompilationFlow,
+    SplitResult,
+    TetrisLockObfuscator,
+    TetrisLockPipeline,
+    insert_random_pairs,
+    interlocking_split,
+    saki_attack_complexity,
+    tetrislock_attack_complexity,
+)
+from .noise import fake_valencia, valencia_like_backend
+from .revlib import benchmark_circuit, benchmark_names, paper_suite
+from .simulator import run_counts, run_counts_batched
+from .transpiler import transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "TetrisLockObfuscator",
+    "TetrisLockPipeline",
+    "EvaluationResult",
+    "insert_random_pairs",
+    "interlocking_split",
+    "SplitResult",
+    "SplitCompilationFlow",
+    "saki_attack_complexity",
+    "tetrislock_attack_complexity",
+    "BruteForceCollusionAttack",
+    "fake_valencia",
+    "valencia_like_backend",
+    "benchmark_circuit",
+    "benchmark_names",
+    "paper_suite",
+    "run_counts",
+    "run_counts_batched",
+    "transpile",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Security and cost analysis tools: structural leakage, boundary
+detectability, timing schedules and analytic fidelity estimates."""
+
+from .leakage import (
+    boundary_detection_score,
+    gate_histogram,
+    insertion_blend_score,
+    interaction_graph_edges,
+    segment_structural_leakage,
+    window_divergence_profile,
+)
+from .schedule import (
+    GateSpan,
+    ScheduledCircuit,
+    estimate_success_probability,
+    schedule_circuit,
+)
+
+__all__ = [
+    "gate_histogram",
+    "window_divergence_profile",
+    "boundary_detection_score",
+    "interaction_graph_edges",
+    "segment_structural_leakage",
+    "insertion_blend_score",
+    "schedule_circuit",
+    "ScheduledCircuit",
+    "GateSpan",
+    "estimate_success_probability",
+]

@@ -1,0 +1,143 @@
+"""Timing-aware schedule analysis and analytic fidelity estimation.
+
+Complements the Monte-Carlo simulators with closed-form estimates the
+paper's cost analysis (Sec. V-D) reasons about:
+
+* :func:`schedule_circuit` — ASAP schedule with per-gate durations from
+  the backend calibration; gives the wall-clock duration of a compiled
+  circuit (the quantity T1/T2 decay acts over).
+* :func:`estimate_success_probability` — first-order analytic accuracy
+  model: product of (1 - gate error) over the circuit, times readout
+  survival, times T1 decay over each qubit's idle+busy time.  Useful
+  for sanity-checking simulated accuracies and for fast what-if sweeps
+  without sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.backend import Backend
+
+__all__ = ["GateSpan", "ScheduledCircuit", "schedule_circuit",
+           "estimate_success_probability"]
+
+_DEFAULT_SQ_US = 0.0355
+_DEFAULT_CX_US = 0.40
+_FREE_GATES = {"id", "u1", "barrier"}  # virtual / frame changes
+
+
+@dataclass
+class GateSpan:
+    """One scheduled gate occurrence."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    start_us: float
+    duration_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass
+class ScheduledCircuit:
+    """ASAP schedule of a circuit under a duration model."""
+
+    spans: List[GateSpan]
+    total_duration_us: float
+    qubit_busy_us: Dict[int, float]
+
+    def qubit_idle_us(self, qubit: int) -> float:
+        """Idle time of *qubit* between t=0 and the circuit end."""
+        return self.total_duration_us - self.qubit_busy_us.get(qubit, 0.0)
+
+
+def _gate_duration(
+    backend: Optional[Backend], name: str, qubits: Tuple[int, ...]
+) -> float:
+    if name in _FREE_GATES:
+        return 0.0
+    if backend is not None:
+        if len(qubits) == 2:
+            cal = backend.two_qubit_gates.get(qubits) or (
+                backend.two_qubit_gates.get((qubits[1], qubits[0]))
+            )
+            if cal is not None:
+                return cal.duration_us
+        elif len(qubits) == 1:
+            cal = backend.single_qubit_gates.get(qubits[0])
+            if cal is not None:
+                return cal.duration_us
+    return _DEFAULT_CX_US if len(qubits) >= 2 else _DEFAULT_SQ_US
+
+
+def schedule_circuit(
+    circuit: QuantumCircuit, backend: Optional[Backend] = None
+) -> ScheduledCircuit:
+    """ASAP-schedule *circuit* with calibrated gate durations."""
+    available: Dict[int, float] = {
+        q: 0.0 for q in range(circuit.num_qubits)
+    }
+    busy: Dict[int, float] = {q: 0.0 for q in range(circuit.num_qubits)}
+    spans: List[GateSpan] = []
+    for inst in circuit:
+        if inst.is_barrier:
+            sync = max(
+                (available[q] for q in inst.qubits), default=0.0
+            )
+            for q in inst.qubits:
+                available[q] = sync
+            continue
+        if inst.is_measure:
+            continue
+        duration = _gate_duration(backend, inst.name, inst.qubits)
+        start = max(available[q] for q in inst.qubits)
+        for q in inst.qubits:
+            available[q] = start + duration
+            busy[q] += duration
+        spans.append(GateSpan(inst.name, inst.qubits, start, duration))
+    total = max(available.values(), default=0.0)
+    return ScheduledCircuit(spans, total, busy)
+
+
+def estimate_success_probability(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    measured_qubits: Optional[Sequence[int]] = None,
+) -> float:
+    """First-order analytic success probability of a compiled circuit.
+
+    ``P = prod(1 - e_gate) * prod_q exp(-T_total / T1_q)
+    * prod_q (1 - readout_q)`` over the *measured* qubits.  A coarse
+    model — it ignores error cancellation and state-dependence — but it
+    tracks the simulated accuracies well enough to rank circuits.
+    """
+    if measured_qubits is None:
+        measured_qubits = sorted(circuit.active_qubits())
+    schedule = schedule_circuit(circuit, backend)
+    probability = 1.0
+    for inst in circuit.gates():
+        name, qubits = inst.name, inst.qubits
+        if name in _FREE_GATES:
+            continue
+        if len(qubits) == 2:
+            try:
+                probability *= 1.0 - backend.cx_error(*qubits)
+            except KeyError:
+                probability *= 1.0 - 0.01
+        else:
+            cal = backend.single_qubit_gates.get(qubits[0])
+            probability *= 1.0 - (cal.error if cal else 4e-4)
+    for q in measured_qubits:
+        if q < len(backend.qubits):
+            cal = backend.qubits[q]
+            probability *= math.exp(
+                -schedule.total_duration_us / cal.t1_us
+            )
+            probability *= 1.0 - cal.readout_error().average_error()
+    return max(probability, 0.0)

@@ -1,0 +1,13 @@
+"""Prior-work baselines: cascading split compilation and random
+reversible-circuit insertion."""
+
+from .das_insertion import DasInsertionResult, das_insertion
+from .saki_split import SakiSplitResult, saki_split, swap_network_circuit
+
+__all__ = [
+    "saki_split",
+    "SakiSplitResult",
+    "swap_network_circuit",
+    "das_insertion",
+    "DasInsertionResult",
+]

@@ -1,0 +1,117 @@
+"""Baseline: random reversible-circuit insertion (Das & Ghosh 2023).
+
+The insertion-based obfuscation family the paper contrasts with
+([16]-[18]): a freshly generated random reversible circuit ``R`` is
+inserted at the front, middle or end of the original circuit before
+compilation; the user later applies ``R†`` (compiled by a *trusted*
+compiler) to restore functionality.
+
+Limitations reproduced here, quoted from the paper:
+
+* the original circuit's topology is fully exposed — an adversary can
+  look for the boundary between ``R`` and ``C``;
+* the restore step needs a trusted compiler for ``R†``;
+* the inserted block *extends the circuit* — depth overhead is nonzero
+  (contrast with TetrisLock's empty-slot insertion; the ablation bench
+  quantifies this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.random_circuits import random_reversible_circuit
+
+__all__ = ["DasInsertionResult", "das_insertion"]
+
+_POSITIONS = ("front", "middle", "end")
+
+
+@dataclass
+class DasInsertionResult:
+    """Obfuscated circuit plus the restore key ``R†``."""
+
+    original: QuantumCircuit
+    obfuscated: QuantumCircuit  # what the untrusted compiler sees
+    random_block: QuantumCircuit  # R
+    position: str
+    insert_index: int  # instruction index where R starts
+
+    def restore_key(self) -> QuantumCircuit:
+        """``R†`` — must be compiled by a trusted party (the scheme's
+        main operational weakness)."""
+        return self.random_block.inverse()
+
+    def restored(self) -> QuantumCircuit:
+        """Apply the restore key around the inserted block.
+
+        ``R†`` is inserted immediately after ``R`` so the pair cancels
+        wherever the block was placed.
+        """
+        out = QuantumCircuit(
+            self.original.num_qubits,
+            self.original.num_clbits,
+            f"{self.original.name}_restored",
+        )
+        instructions = list(self.obfuscated.instructions)
+        r_len = len(self.random_block)
+        end_of_r = self.insert_index + r_len
+        out.extend(instructions[:end_of_r])
+        out.extend(self.restore_key().instructions)
+        out.extend(instructions[end_of_r:])
+        return out
+
+    @property
+    def depth_overhead(self) -> int:
+        return self.obfuscated.depth() - self.original.depth()
+
+    @property
+    def gate_overhead(self) -> int:
+        return self.obfuscated.size() - self.original.size()
+
+
+def das_insertion(
+    circuit: QuantumCircuit,
+    num_random_gates: int = 4,
+    position: str = "front",
+    seed: Optional[Union[int, np.random.Generator]] = None,
+    include_toffoli: bool = True,
+) -> DasInsertionResult:
+    """Insert a random reversible block at *position* (front/middle/end)."""
+    if position not in _POSITIONS:
+        raise ValueError(f"position must be one of {_POSITIONS}")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    block = random_reversible_circuit(
+        circuit.num_qubits,
+        num_random_gates,
+        seed=rng,
+        include_toffoli=include_toffoli,
+    )
+    instructions = list(circuit.instructions)
+    if position == "front":
+        index = 0
+    elif position == "end":
+        index = len(instructions)
+    else:
+        index = len(instructions) // 2
+    obfuscated = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, f"{circuit.name}_das"
+    )
+    obfuscated.extend(instructions[:index])
+    obfuscated.extend(block.instructions)
+    obfuscated.extend(instructions[index:])
+    return DasInsertionResult(
+        original=circuit,
+        obfuscated=obfuscated,
+        random_block=block,
+        position=position,
+        insert_index=index,
+    )

@@ -1,0 +1,86 @@
+"""Quantum circuit intermediate representation.
+
+The substrate the rest of the project builds on: gate library,
+instructions, the :class:`QuantumCircuit` container, DAG/layer views,
+the occupancy grid used by TetrisLock's Algorithm 1, random circuit
+generation, OpenQASM 2 I/O and an ASCII drawer.
+"""
+
+from .circuit import QuantumCircuit
+from .dag import CircuitDag, circuit_layers, layer_assignment
+from .drawer import annotate_split, draw_circuit, draw_layers
+from .gates import (
+    Barrier,
+    CCXGate,
+    CXGate,
+    CZGate,
+    Gate,
+    HGate,
+    MCXGate,
+    Measure,
+    SwapGate,
+    U1Gate,
+    U2Gate,
+    U3Gate,
+    UnitaryGate,
+    XGate,
+    YGate,
+    ZGate,
+    gate_from_name,
+    standard_gate_names,
+)
+from .grid import OccupancyGrid, empty_positions_by_layer
+from .instruction import Instruction
+from .library import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    grover_circuit,
+    qft_circuit,
+)
+from .qasm import QasmError, from_qasm, to_qasm
+from .random_circuits import (
+    DEFAULT_GATE_POOL,
+    random_circuit,
+    random_reversible_circuit,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "Instruction",
+    "Gate",
+    "Barrier",
+    "Measure",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "CXGate",
+    "CZGate",
+    "CCXGate",
+    "MCXGate",
+    "SwapGate",
+    "U1Gate",
+    "U2Gate",
+    "U3Gate",
+    "UnitaryGate",
+    "gate_from_name",
+    "standard_gate_names",
+    "CircuitDag",
+    "circuit_layers",
+    "layer_assignment",
+    "OccupancyGrid",
+    "empty_positions_by_layer",
+    "draw_circuit",
+    "draw_layers",
+    "annotate_split",
+    "to_qasm",
+    "from_qasm",
+    "QasmError",
+    "random_circuit",
+    "random_reversible_circuit",
+    "DEFAULT_GATE_POOL",
+    "grover_circuit",
+    "bernstein_vazirani_circuit",
+    "ghz_circuit",
+    "qft_circuit",
+]

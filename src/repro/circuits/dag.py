@@ -1,0 +1,153 @@
+"""DAG and layer views of a circuit.
+
+Two related views are provided:
+
+* :func:`circuit_layers` — ASAP (as-soon-as-possible) layering, the
+  "columns" of the circuit diagram.  This is the representation
+  Algorithm 1 of the TetrisLock paper scans for empty positions.
+* :class:`CircuitDag` — an explicit dependency DAG (networkx digraph)
+  used by the interlocking splitter to repair cut assignments into
+  dependency-closed sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .circuit import QuantumCircuit
+from .instruction import Instruction
+
+__all__ = ["circuit_layers", "layer_assignment", "CircuitDag"]
+
+
+def layer_assignment(circuit: QuantumCircuit) -> List[int]:
+    """ASAP layer index for each instruction of *circuit*.
+
+    Barriers synchronise their qubits without occupying a layer; they
+    are assigned the layer they synchronise to (useful for drawing) but
+    do not advance qubit levels.
+    """
+    level: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    clevel: Dict[int, int] = {c: 0 for c in range(circuit.num_clbits)}
+    assignment: List[int] = []
+    for inst in circuit:
+        if inst.is_barrier:
+            sync = max((level[q] for q in inst.qubits), default=0)
+            for q in inst.qubits:
+                level[q] = sync
+            assignment.append(sync)
+            continue
+        start = max(level[q] for q in inst.qubits)
+        if inst.clbits:
+            start = max(start, max(clevel[c] for c in inst.clbits))
+        assignment.append(start)
+        for q in inst.qubits:
+            level[q] = start + 1
+        for c in inst.clbits:
+            clevel[c] = start + 1
+    return assignment
+
+
+def circuit_layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Group instructions into ASAP layers (barriers omitted)."""
+    assignment = layer_assignment(circuit)
+    num_layers = 0
+    for inst, layer in zip(circuit, assignment):
+        if not inst.is_barrier:
+            num_layers = max(num_layers, layer + 1)
+    layers: List[List[Instruction]] = [[] for _ in range(num_layers)]
+    for inst, layer in zip(circuit, assignment):
+        if not inst.is_barrier:
+            layers[layer].append(inst)
+    return layers
+
+
+class CircuitDag:
+    """Dependency DAG over the instructions of a circuit.
+
+    Node ``i`` is the index of the i-th instruction.  An edge ``i -> j``
+    exists when instruction ``j`` depends on instruction ``i`` through a
+    shared qubit (only the immediately preceding instruction on each
+    qubit is linked; transitive closure gives full ordering).
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.graph = nx.DiGraph()
+        last_on_qubit: Dict[int, int] = {}
+        last_on_clbit: Dict[int, int] = {}
+        for index, inst in enumerate(circuit):
+            self.graph.add_node(index, instruction=inst)
+            for q in inst.qubits:
+                if q in last_on_qubit:
+                    self.graph.add_edge(last_on_qubit[q], index)
+                last_on_qubit[q] = index
+            for c in inst.clbits:
+                if c in last_on_clbit:
+                    self.graph.add_edge(last_on_clbit[c], index)
+                last_on_clbit[c] = index
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def predecessors(self, index: int) -> List[int]:
+        return sorted(self.graph.predecessors(index))
+
+    def successors(self, index: int) -> List[int]:
+        return sorted(self.graph.successors(index))
+
+    def ancestors(self, index: int) -> Set[int]:
+        """All instructions that must execute before *index*."""
+        return set(nx.ancestors(self.graph, index))
+
+    def descendants(self, index: int) -> Set[int]:
+        """All instructions that must execute after *index*."""
+        return set(nx.descendants(self.graph, index))
+
+    def topological_order(self) -> List[int]:
+        return list(nx.topological_sort(self.graph))
+
+    def downward_closure(self, selected: Sequence[int]) -> Set[int]:
+        """Smallest dependency-closed superset of *selected*.
+
+        A set ``S`` is dependency-closed when every ancestor of every
+        member is also a member; concatenating the instructions of ``S``
+        and then its complement reproduces a valid topological order of
+        the whole circuit.
+        """
+        closed: Set[int] = set()
+        frontier = list(selected)
+        while frontier:
+            node = frontier.pop()
+            if node in closed:
+                continue
+            closed.add(node)
+            frontier.extend(
+                p for p in self.graph.predecessors(node) if p not in closed
+            )
+        return closed
+
+    def is_dependency_closed(self, selected: Set[int]) -> bool:
+        """True when no member of *selected* has an ancestor outside it."""
+        return all(
+            pred in selected
+            for node in selected
+            for pred in self.graph.predecessors(node)
+        )
+
+    def split_indices(
+        self, first: Set[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Partition program order into (first, second) index lists.
+
+        *first* must be dependency-closed; raises :class:`ValueError`
+        otherwise.
+        """
+        if not self.is_dependency_closed(first):
+            raise ValueError("selection is not dependency-closed")
+        order = list(range(len(self.circuit)))
+        left = [i for i in order if i in first]
+        right = [i for i in order if i not in first]
+        return left, right

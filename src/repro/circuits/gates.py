@@ -1,0 +1,742 @@
+"""Quantum gate library.
+
+Every gate is an immutable object carrying a name, a qubit arity, an
+optional parameter list and a unitary matrix.  The matrix convention is
+*first listed qubit = most significant bit* of the matrix index: for a
+two-qubit gate applied to ``(q0, q1)`` the basis ordering of the 4x4
+matrix is ``|q0 q1> = |00>, |01>, |10>, |11>``.  The statevector engine
+(:mod:`repro.simulator.statevector`) applies matrices under the same
+convention, so circuits behave identically regardless of which physical
+qubits a gate touches.
+
+The global *state* indexing used across the project is little-endian
+(Qiskit convention): bit ``i`` of a computational basis index is the
+state of qubit ``i``, and measurement bitstrings are written with qubit
+0 as the right-most character.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "Barrier",
+    "Measure",
+    "GATE_REGISTRY",
+    "gate_from_name",
+    "standard_gate_names",
+    "controlled_matrix",
+    "IGate",
+    "XGate",
+    "YGate",
+    "ZGate",
+    "HGate",
+    "SGate",
+    "SdgGate",
+    "TGate",
+    "TdgGate",
+    "SXGate",
+    "RXGate",
+    "RYGate",
+    "RZGate",
+    "PhaseGate",
+    "U1Gate",
+    "U2Gate",
+    "U3Gate",
+    "CXGate",
+    "CYGate",
+    "CZGate",
+    "CHGate",
+    "SwapGate",
+    "CRZGate",
+    "CPhaseGate",
+    "CCXGate",
+    "CSwapGate",
+    "MCXGate",
+    "UnitaryGate",
+]
+
+_ATOL = 1e-10
+
+
+def _is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True when *matrix* is unitary within *atol*."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+class Gate:
+    """Base class for unitary quantum gates.
+
+    Subclasses define :attr:`name`, :attr:`num_qubits` and implement
+    :meth:`_build_matrix`.  Parameterised gates store their parameters
+    in :attr:`params`.  Gates compare equal when their name and
+    parameters match (modulo floating point noise).
+    """
+
+    name: str = "gate"
+    num_qubits: int = 1
+
+    def __init__(self, params: Optional[Sequence[float]] = None) -> None:
+        self.params: Tuple[float, ...] = tuple(float(p) for p in (params or ()))
+        self._matrix: Optional[np.ndarray] = None
+
+    # -- matrix ---------------------------------------------------------
+    def _build_matrix(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The (cached) unitary matrix of the gate."""
+        if self._matrix is None:
+            built = np.asarray(self._build_matrix(), dtype=complex)
+            built.setflags(write=False)
+            self._matrix = built
+        return self._matrix
+
+    # -- algebra --------------------------------------------------------
+    def inverse(self) -> "Gate":
+        """Return a gate implementing the adjoint of this gate.
+
+        Self-inverse gates return an equivalent instance; parameterised
+        rotations negate their angles; anything else falls back to a
+        :class:`UnitaryGate` wrapping the conjugate transpose.
+        """
+        return UnitaryGate(self.matrix.conj().T, label=f"{self.name}_dg")
+
+    def is_self_inverse(self) -> bool:
+        """True when ``U @ U`` is the identity."""
+        mat = self.matrix
+        return bool(np.allclose(mat @ mat, np.eye(mat.shape[0]), atol=1e-8))
+
+    # -- misc -----------------------------------------------------------
+    def copy(self) -> "Gate":
+        return type(self)(self.params) if self.params else type(self)()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Gate):
+            return NotImplemented
+        if self.name != other.name or len(self.params) != len(other.params):
+            return False
+        return all(
+            abs(a - b) < 1e-9 for a, b in zip(self.params, other.params)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(round(p, 9) for p in self.params)))
+
+    def __repr__(self) -> str:
+        if self.params:
+            args = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"{type(self).__name__}({args})"
+        return f"{type(self).__name__}()"
+
+
+class Barrier:
+    """A scheduling barrier.  Not a unitary; blocks layer compaction."""
+
+    name = "barrier"
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = int(num_qubits)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Barrier) and other.num_qubits == self.num_qubits
+
+    def __hash__(self) -> int:
+        return hash(("barrier", self.num_qubits))
+
+    def __repr__(self) -> str:
+        return f"Barrier({self.num_qubits})"
+
+
+class Measure:
+    """A computational-basis measurement of a single qubit."""
+
+    name = "measure"
+    num_qubits = 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Measure)
+
+    def __hash__(self) -> int:
+        return hash("measure")
+
+    def __repr__(self) -> str:
+        return "Measure()"
+
+
+# ---------------------------------------------------------------------------
+# single-qubit gates
+# ---------------------------------------------------------------------------
+
+
+class IGate(Gate):
+    """Identity gate."""
+
+    name = "id"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.eye(2)
+
+    def inverse(self) -> Gate:
+        return IGate()
+
+
+class XGate(Gate):
+    """Pauli-X (NOT) gate."""
+
+    name = "x"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[0, 1], [1, 0]])
+
+    def inverse(self) -> Gate:
+        return XGate()
+
+
+class YGate(Gate):
+    """Pauli-Y gate."""
+
+    name = "y"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[0, -1j], [1j, 0]])
+
+    def inverse(self) -> Gate:
+        return YGate()
+
+
+class ZGate(Gate):
+    """Pauli-Z gate."""
+
+    name = "z"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1]])
+
+    def inverse(self) -> Gate:
+        return ZGate()
+
+
+class HGate(Gate):
+    """Hadamard gate."""
+
+    name = "h"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+
+    def inverse(self) -> Gate:
+        return HGate()
+
+
+class SGate(Gate):
+    """Phase gate S = sqrt(Z)."""
+
+    name = "s"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, 1j]])
+
+    def inverse(self) -> Gate:
+        return SdgGate()
+
+
+class SdgGate(Gate):
+    """Adjoint of the S gate."""
+
+    name = "sdg"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, -1j]])
+
+    def inverse(self) -> Gate:
+        return SGate()
+
+
+class TGate(Gate):
+    """T gate (pi/8 gate)."""
+
+    name = "t"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]])
+
+    def inverse(self) -> Gate:
+        return TdgGate()
+
+
+class TdgGate(Gate):
+    """Adjoint of the T gate."""
+
+    name = "tdg"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]])
+
+    def inverse(self) -> Gate:
+        return TGate()
+
+
+class SXGate(Gate):
+    """Square root of X."""
+
+    name = "sx"
+    num_qubits = 1
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]]) / 2
+
+    def inverse(self) -> Gate:
+        return UnitaryGate(self.matrix.conj().T, label="sxdg")
+
+
+class RXGate(Gate):
+    """Rotation about the X axis by ``theta``."""
+
+    name = "rx"
+    num_qubits = 1
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 1:
+            raise ValueError("rx takes exactly one parameter")
+
+    def _build_matrix(self) -> np.ndarray:
+        theta = self.params[0]
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[cos, -1j * sin], [-1j * sin, cos]])
+
+    def inverse(self) -> Gate:
+        return RXGate([-self.params[0]])
+
+
+class RYGate(Gate):
+    """Rotation about the Y axis by ``theta``."""
+
+    name = "ry"
+    num_qubits = 1
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 1:
+            raise ValueError("ry takes exactly one parameter")
+
+    def _build_matrix(self) -> np.ndarray:
+        theta = self.params[0]
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[cos, -sin], [sin, cos]])
+
+    def inverse(self) -> Gate:
+        return RYGate([-self.params[0]])
+
+
+class RZGate(Gate):
+    """Rotation about the Z axis by ``phi`` (global-phase-symmetric)."""
+
+    name = "rz"
+    num_qubits = 1
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 1:
+            raise ValueError("rz takes exactly one parameter")
+
+    def _build_matrix(self) -> np.ndarray:
+        phi = self.params[0]
+        return np.array(
+            [[cmath.exp(-1j * phi / 2), 0], [0, cmath.exp(1j * phi / 2)]]
+        )
+
+    def inverse(self) -> Gate:
+        return RZGate([-self.params[0]])
+
+
+class PhaseGate(Gate):
+    """Phase gate ``diag(1, e^{i lambda})``."""
+
+    name = "p"
+    num_qubits = 1
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 1:
+            raise ValueError("p takes exactly one parameter")
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array([[1, 0], [0, cmath.exp(1j * self.params[0])]])
+
+    def inverse(self) -> Gate:
+        return PhaseGate([-self.params[0]])
+
+
+class U1Gate(PhaseGate):
+    """IBM U1 gate — identical matrix to :class:`PhaseGate`."""
+
+    name = "u1"
+
+    def inverse(self) -> Gate:
+        return U1Gate([-self.params[0]])
+
+
+class U2Gate(Gate):
+    """IBM U2(phi, lam) gate: a single-row Bloch rotation.
+
+    ``U2(phi, lam) = U3(pi/2, phi, lam)``.
+    """
+
+    name = "u2"
+    num_qubits = 1
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 2:
+            raise ValueError("u2 takes exactly two parameters")
+
+    def _build_matrix(self) -> np.ndarray:
+        phi, lam = self.params
+        return U3Gate([math.pi / 2, phi, lam]).matrix
+
+    def inverse(self) -> Gate:
+        phi, lam = self.params
+        return U3Gate([-math.pi / 2, -lam, -phi])
+
+
+class U3Gate(Gate):
+    """Generic single-qubit rotation ``U3(theta, phi, lam)``."""
+
+    name = "u3"
+    num_qubits = 1
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 3:
+            raise ValueError("u3 takes exactly three parameters")
+
+    def _build_matrix(self) -> np.ndarray:
+        theta, phi, lam = self.params
+        cos, sin = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array(
+            [
+                [cos, -cmath.exp(1j * lam) * sin],
+                [cmath.exp(1j * phi) * sin, cmath.exp(1j * (phi + lam)) * cos],
+            ]
+        )
+
+    def inverse(self) -> Gate:
+        theta, phi, lam = self.params
+        return U3Gate([-theta, -lam, -phi])
+
+
+# ---------------------------------------------------------------------------
+# multi-qubit gates
+# ---------------------------------------------------------------------------
+
+
+def controlled_matrix(base: np.ndarray, num_controls: int = 1) -> np.ndarray:
+    """Embed *base* as a controlled operation with *num_controls* controls.
+
+    Controls are the most significant qubits, matching the project-wide
+    "first listed qubit = most significant" convention, so the base
+    operation occupies the bottom-right block.
+    """
+    dim = base.shape[0] << num_controls
+    mat = np.eye(dim, dtype=complex)
+    mat[dim - base.shape[0]:, dim - base.shape[0]:] = base
+    return mat
+
+
+class CXGate(Gate):
+    """Controlled-NOT gate; qubit order (control, target)."""
+
+    name = "cx"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(XGate().matrix)
+
+    def inverse(self) -> Gate:
+        return CXGate()
+
+
+class CYGate(Gate):
+    """Controlled-Y gate; qubit order (control, target)."""
+
+    name = "cy"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(YGate().matrix)
+
+    def inverse(self) -> Gate:
+        return CYGate()
+
+
+class CZGate(Gate):
+    """Controlled-Z gate (symmetric in its qubits)."""
+
+    name = "cz"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(ZGate().matrix)
+
+    def inverse(self) -> Gate:
+        return CZGate()
+
+
+class CHGate(Gate):
+    """Controlled-Hadamard gate; qubit order (control, target)."""
+
+    name = "ch"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(HGate().matrix)
+
+    def inverse(self) -> Gate:
+        return CHGate()
+
+
+class SwapGate(Gate):
+    """SWAP gate."""
+
+    name = "swap"
+    num_qubits = 2
+
+    def _build_matrix(self) -> np.ndarray:
+        return np.array(
+            [
+                [1, 0, 0, 0],
+                [0, 0, 1, 0],
+                [0, 1, 0, 0],
+                [0, 0, 0, 1],
+            ]
+        )
+
+    def inverse(self) -> Gate:
+        return SwapGate()
+
+
+class CRZGate(Gate):
+    """Controlled-RZ gate; qubit order (control, target)."""
+
+    name = "crz"
+    num_qubits = 2
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 1:
+            raise ValueError("crz takes exactly one parameter")
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(RZGate([self.params[0]]).matrix)
+
+    def inverse(self) -> Gate:
+        return CRZGate([-self.params[0]])
+
+
+class CPhaseGate(Gate):
+    """Controlled-phase gate (symmetric)."""
+
+    name = "cp"
+    num_qubits = 2
+
+    def __init__(self, params: Sequence[float]) -> None:
+        super().__init__(params)
+        if len(self.params) != 1:
+            raise ValueError("cp takes exactly one parameter")
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(PhaseGate([self.params[0]]).matrix)
+
+    def inverse(self) -> Gate:
+        return CPhaseGate([-self.params[0]])
+
+
+class CCXGate(Gate):
+    """Toffoli gate; qubit order (control, control, target)."""
+
+    name = "ccx"
+    num_qubits = 3
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(XGate().matrix, num_controls=2)
+
+    def inverse(self) -> Gate:
+        return CCXGate()
+
+
+class CSwapGate(Gate):
+    """Fredkin gate; qubit order (control, target, target)."""
+
+    name = "cswap"
+    num_qubits = 3
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(SwapGate().matrix)
+
+    def inverse(self) -> Gate:
+        return CSwapGate()
+
+
+class MCXGate(Gate):
+    """Multi-controlled X with an arbitrary number of controls.
+
+    ``MCXGate(0)`` degenerates to X and ``MCXGate(1)`` to CX; RevLib
+    Toffoli networks routinely use three or more controls.
+    """
+
+    num_qubits = 0  # overridden per instance
+
+    def __init__(self, num_controls: int) -> None:
+        super().__init__()
+        if num_controls < 0:
+            raise ValueError("number of controls must be non-negative")
+        self.num_controls = int(num_controls)
+        self.num_qubits = self.num_controls + 1
+        self.name = f"mcx{self.num_controls}" if num_controls > 2 else (
+            "ccx" if num_controls == 2 else ("cx" if num_controls == 1 else "x")
+        )
+
+    def _build_matrix(self) -> np.ndarray:
+        return controlled_matrix(XGate().matrix, num_controls=self.num_controls)
+
+    def inverse(self) -> Gate:
+        return MCXGate(self.num_controls)
+
+    def copy(self) -> Gate:
+        return MCXGate(self.num_controls)
+
+    def __repr__(self) -> str:
+        return f"MCXGate({self.num_controls})"
+
+
+class UnitaryGate(Gate):
+    """An arbitrary unitary supplied as an explicit matrix."""
+
+    name = "unitary"
+
+    def __init__(self, matrix: np.ndarray, label: Optional[str] = None) -> None:
+        super().__init__()
+        matrix = np.asarray(matrix, dtype=complex)
+        if not _is_unitary(matrix):
+            raise ValueError("matrix is not unitary")
+        size = matrix.shape[0]
+        num_qubits = int(round(math.log2(size)))
+        if 2 ** num_qubits != size:
+            raise ValueError("matrix dimension must be a power of two")
+        self.num_qubits = num_qubits
+        if label:
+            self.name = label
+        self._matrix = matrix.copy()
+        self._matrix.setflags(write=False)
+
+    def _build_matrix(self) -> np.ndarray:  # pragma: no cover - set eagerly
+        return self._matrix
+
+    def inverse(self) -> Gate:
+        return UnitaryGate(self.matrix.conj().T, label=f"{self.name}_dg")
+
+    def copy(self) -> Gate:
+        return UnitaryGate(self.matrix, label=self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnitaryGate):
+            return NotImplemented
+        return self.matrix.shape == other.matrix.shape and bool(
+            np.allclose(self.matrix, other.matrix, atol=_ATOL)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("unitary", self.matrix.shape[0]))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+GATE_REGISTRY: Dict[str, type] = {
+    "id": IGate,
+    "x": XGate,
+    "y": YGate,
+    "z": ZGate,
+    "h": HGate,
+    "s": SGate,
+    "sdg": SdgGate,
+    "t": TGate,
+    "tdg": TdgGate,
+    "sx": SXGate,
+    "rx": RXGate,
+    "ry": RYGate,
+    "rz": RZGate,
+    "p": PhaseGate,
+    "u1": U1Gate,
+    "u2": U2Gate,
+    "u3": U3Gate,
+    "cx": CXGate,
+    "cy": CYGate,
+    "cz": CZGate,
+    "ch": CHGate,
+    "swap": SwapGate,
+    "crz": CRZGate,
+    "cp": CPhaseGate,
+    "ccx": CCXGate,
+    "cswap": CSwapGate,
+}
+
+_PARAM_COUNTS: Dict[str, int] = {
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u1": 1,
+    "u2": 2,
+    "u3": 3,
+    "crz": 1,
+    "cp": 1,
+}
+
+
+def standard_gate_names() -> List[str]:
+    """Names of all registered standard gates."""
+    return sorted(GATE_REGISTRY)
+
+
+def gate_from_name(name: str, params: Optional[Sequence[float]] = None) -> Gate:
+    """Instantiate a standard gate by name.
+
+    ``mcxK`` names build :class:`MCXGate` with ``K`` controls.  Raises
+    :class:`KeyError` for unknown names and :class:`ValueError` when the
+    parameter count does not match.
+    """
+    name = name.lower()
+    if name.startswith("mcx") and name[3:].isdigit():
+        return MCXGate(int(name[3:]))
+    if name not in GATE_REGISTRY:
+        raise KeyError(f"unknown gate: {name!r}")
+    expected = _PARAM_COUNTS.get(name, 0)
+    params = list(params or [])
+    if len(params) != expected:
+        raise ValueError(
+            f"gate {name!r} expects {expected} parameter(s), got {len(params)}"
+        )
+    cls = GATE_REGISTRY[name]
+    return cls(params) if expected else cls()

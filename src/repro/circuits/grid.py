@@ -1,0 +1,164 @@
+"""Layer-by-qubit occupancy grid and empty-slot discovery.
+
+Algorithm 1 of the TetrisLock paper converts the circuit to a DAG,
+extracts its layers and records, per layer, which qubits are *not* used
+— the "empty positions" that random gates may occupy without growing
+the circuit depth.  :class:`OccupancyGrid` is that data structure, plus
+the queries the obfuscator needs:
+
+* empty slots per layer / per qubit,
+* the *idle prefix* of a qubit (layers before its first gate — the
+  Tetris staircase at the left edge of most RevLib circuits),
+* pair-slot search: two adjacent free layers on the same qubit(s), the
+  placement that lets a self-inverse gate and its inverse cancel
+  exactly without depth or functional impact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .circuit import QuantumCircuit
+from .dag import circuit_layers
+
+__all__ = ["OccupancyGrid", "empty_positions_by_layer"]
+
+
+def empty_positions_by_layer(circuit: QuantumCircuit) -> List[List[int]]:
+    """Per layer, the sorted list of unused qubits (paper Alg. 1, step 1)."""
+    layers = circuit_layers(circuit)
+    all_qubits = set(range(circuit.num_qubits))
+    empties: List[List[int]] = []
+    for layer in layers:
+        used: Set[int] = set()
+        for inst in layer:
+            used.update(inst.qubits)
+        empties.append(sorted(all_qubits - used))
+    return empties
+
+
+class OccupancyGrid:
+    """Boolean occupancy of each (layer, qubit) cell of a circuit."""
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self.circuit = circuit
+        self.num_qubits = circuit.num_qubits
+        layers = circuit_layers(circuit)
+        self.num_layers = len(layers)
+        self._occupied: List[Set[int]] = []
+        for layer in layers:
+            used: Set[int] = set()
+            for inst in layer:
+                used.update(inst.qubits)
+            self._occupied.append(used)
+
+    # ------------------------------------------------------------------
+    def is_free(self, layer: int, qubit: int) -> bool:
+        """True when the cell exists and holds no gate."""
+        if not 0 <= layer < self.num_layers:
+            return False
+        if not 0 <= qubit < self.num_qubits:
+            return False
+        return qubit not in self._occupied[layer]
+
+    def free_qubits(self, layer: int) -> List[int]:
+        """Sorted free qubits of a layer."""
+        if not 0 <= layer < self.num_layers:
+            return []
+        return sorted(set(range(self.num_qubits)) - self._occupied[layer])
+
+    def free_layers(self, qubit: int) -> List[int]:
+        """Sorted layers where *qubit* is idle."""
+        return [
+            layer
+            for layer in range(self.num_layers)
+            if qubit not in self._occupied[layer]
+        ]
+
+    def total_free_slots(self) -> int:
+        """Count of all empty (layer, qubit) cells."""
+        return sum(
+            self.num_qubits - len(occupied) for occupied in self._occupied
+        )
+
+    def occupancy_ratio(self) -> float:
+        """Fraction of grid cells holding a gate (0 for empty circuits)."""
+        cells = self.num_layers * self.num_qubits
+        if cells == 0:
+            return 0.0
+        return 1.0 - self.total_free_slots() / cells
+
+    # ------------------------------------------------------------------
+    def idle_prefix(self, qubit: int) -> int:
+        """Number of leading layers before *qubit*'s first gate.
+
+        Equals ``num_layers`` for a completely idle qubit.
+        """
+        for layer in range(self.num_layers):
+            if qubit in self._occupied[layer]:
+                return layer
+        return self.num_layers
+
+    def staircase(self) -> Dict[int, int]:
+        """Idle-prefix length for every qubit (the Tetris staircase)."""
+        return {q: self.idle_prefix(q) for q in range(self.num_qubits)}
+
+    # ------------------------------------------------------------------
+    def mark(self, layer: int, qubits: Sequence[int]) -> None:
+        """Record that *qubits* are now occupied at *layer*."""
+        if not 0 <= layer < self.num_layers:
+            raise IndexError(f"layer {layer} out of range")
+        for q in qubits:
+            if q in self._occupied[layer]:
+                raise ValueError(f"cell (layer={layer}, qubit={q}) already used")
+            self._occupied[layer].add(q)
+
+    # ------------------------------------------------------------------
+    def find_pair_slot(
+        self,
+        qubits: Sequence[int],
+        max_layer: Optional[int] = None,
+        prefix_only: bool = True,
+    ) -> Optional[Tuple[int, int]]:
+        """Find two adjacent layers free on all of *qubits*.
+
+        Returns ``(earlier_layer, later_layer)`` with
+        ``later = earlier + 1`` or ``None`` when no slot exists.  With
+        ``prefix_only`` both layers must lie inside the idle prefix of
+        every involved qubit, guaranteeing that the inserted pair acts
+        strictly before any original gate on those qubits.
+        """
+        if max_layer is None:
+            max_layer = self.num_layers
+        if prefix_only:
+            limit = min((self.idle_prefix(q) for q in qubits), default=0)
+            max_layer = min(max_layer, limit)
+        for earlier in range(max_layer - 1):
+            later = earlier + 1
+            if all(
+                self.is_free(layer, q)
+                for layer in (earlier, later)
+                for q in qubits
+            ):
+                return earlier, later
+        return None
+
+    def find_single_slot(
+        self,
+        qubits: Sequence[int],
+        prefix_only: bool = False,
+    ) -> Optional[int]:
+        """First layer free on all of *qubits*, or ``None``."""
+        max_layer = self.num_layers
+        if prefix_only:
+            max_layer = min((self.idle_prefix(q) for q in qubits), default=0)
+        for layer in range(max_layer):
+            if all(self.is_free(layer, q) for q in qubits):
+                return layer
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"OccupancyGrid(layers={self.num_layers}, qubits={self.num_qubits}, "
+            f"free={self.total_free_slots()})"
+        )

@@ -1,0 +1,95 @@
+"""Circuit instructions: a gate (or barrier/measure) bound to qubits."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from .gates import Barrier, Gate, Measure
+
+Operation = Union[Gate, Barrier, Measure]
+
+__all__ = ["Instruction", "Operation"]
+
+
+class Instruction:
+    """An operation applied to an ordered tuple of qubit indices.
+
+    Measurements additionally carry the classical bit they write to.
+    Instructions are immutable value objects; copying a circuit shares
+    them safely.
+    """
+
+    __slots__ = ("operation", "qubits", "clbits")
+
+    def __init__(
+        self,
+        operation: Operation,
+        qubits: Tuple[int, ...],
+        clbits: Tuple[int, ...] = (),
+    ) -> None:
+        qubits = tuple(int(q) for q in qubits)
+        clbits = tuple(int(c) for c in clbits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubits in instruction: {qubits}")
+        if any(q < 0 for q in qubits):
+            raise ValueError("qubit indices must be non-negative")
+        expected = getattr(operation, "num_qubits", None)
+        if expected is not None and expected != len(qubits):
+            raise ValueError(
+                f"{operation.name} acts on {expected} qubit(s), "
+                f"got {len(qubits)}"
+            )
+        if isinstance(operation, Measure) and len(clbits) != 1:
+            raise ValueError("measure requires exactly one classical bit")
+        object.__setattr__(self, "operation", operation)
+        object.__setattr__(self, "qubits", qubits)
+        object.__setattr__(self, "clbits", clbits)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Instruction is immutable")
+
+    @property
+    def name(self) -> str:
+        return self.operation.name
+
+    @property
+    def is_gate(self) -> bool:
+        """True when the operation is a unitary gate."""
+        return isinstance(self.operation, Gate)
+
+    @property
+    def is_measure(self) -> bool:
+        return isinstance(self.operation, Measure)
+
+    @property
+    def is_barrier(self) -> bool:
+        return isinstance(self.operation, Barrier)
+
+    def remap(self, mapping) -> "Instruction":
+        """Return a copy with qubits translated through *mapping*.
+
+        *mapping* is any ``int -> int`` callable or dict.
+        """
+        lookup = mapping.__getitem__ if isinstance(mapping, dict) else mapping
+        new_qubits = tuple(lookup(q) for q in self.qubits)
+        return Instruction(self.operation, new_qubits, self.clbits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.operation == other.operation
+            and self.qubits == other.qubits
+            and self.clbits == other.clbits
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.operation, self.qubits, self.clbits))
+
+    def __repr__(self) -> str:
+        if self.clbits:
+            return (
+                f"Instruction({self.operation!r}, qubits={self.qubits}, "
+                f"clbits={self.clbits})"
+            )
+        return f"Instruction({self.operation!r}, qubits={self.qubits})"

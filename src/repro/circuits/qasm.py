@@ -1,0 +1,160 @@
+"""OpenQASM 2.0 serialisation.
+
+Covers the gate set of :mod:`repro.circuits.gates` plus measure and
+barrier — enough to round-trip every circuit this project produces and
+to exchange circuits with Qiskit-based tooling outside this repo.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Optional
+
+from .circuit import QuantumCircuit
+from .gates import Barrier, MCXGate, Measure, UnitaryGate, gate_from_name
+from .instruction import Instruction
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input or unserialisable circuits."""
+
+
+# ---------------------------------------------------------------------------
+# writer
+# ---------------------------------------------------------------------------
+
+
+def _format_param(value: float) -> str:
+    """Render an angle, preferring exact multiples of pi for readability."""
+    for denom in (1, 2, 3, 4, 6, 8):
+        for numer_sign in (1, -1):
+            target = numer_sign * math.pi / denom
+            if abs(value - target) < 1e-12:
+                sign = "-" if numer_sign < 0 else ""
+                return f"{sign}pi/{denom}" if denom != 1 else f"{sign}pi"
+    return repr(float(value))
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise *circuit* as an OpenQASM 2.0 program string."""
+    lines: List[str] = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit:
+        lines.append(_instruction_to_qasm(inst))
+    return "\n".join(lines) + "\n"
+
+
+def _instruction_to_qasm(inst: Instruction) -> str:
+    qubits = ",".join(f"q[{q}]" for q in inst.qubits)
+    op = inst.operation
+    if isinstance(op, Measure):
+        return f"measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];"
+    if isinstance(op, Barrier):
+        return f"barrier {qubits};"
+    if isinstance(op, UnitaryGate):
+        raise QasmError("arbitrary unitary gates cannot be written as QASM 2")
+    if isinstance(op, MCXGate) and op.num_controls > 2:
+        raise QasmError(
+            "decompose MCX gates (>2 controls) before QASM export; see "
+            "repro.synth.decompose"
+        )
+    if op.params:
+        params = ",".join(_format_param(p) for p in op.params)
+        return f"{op.name}({params}) {qubits};"
+    return f"{op.name} {qubits};"
+
+
+# ---------------------------------------------------------------------------
+# reader
+# ---------------------------------------------------------------------------
+
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]")
+_MEASURE_RE = re.compile(
+    r"measure\s+(\w+)\s*\[\s*(\d+)\s*\]\s*->\s*(\w+)\s*\[\s*(\d+)\s*\]"
+)
+_GATE_RE = re.compile(r"^(\w+)\s*(?:\(([^)]*)\))?\s*(.*)$")
+_OPERAND_RE = re.compile(r"(\w+)\s*\[\s*(\d+)\s*\]")
+
+_SAFE_EXPR = re.compile(r"^[\d\s+\-*/().eE]*$")
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * / parens)."""
+    text = text.strip().replace("pi", repr(math.pi))
+    if not _SAFE_EXPR.match(text):
+        raise QasmError(f"unsupported parameter expression: {text!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate parameter {text!r}") from exc
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a :class:`QuantumCircuit`.
+
+    Supports a single quantum and a single classical register, the
+    qelib1 gates registered in :data:`repro.circuits.gates.GATE_REGISTRY`,
+    measure and barrier statements.
+    """
+    # strip comments and normalise whitespace
+    body = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+
+    circuit: Optional[QuantumCircuit] = None
+    num_qubits = 0
+    num_clbits = 0
+    pending: List[str] = []
+
+    for stmt in statements:
+        lowered = stmt.lower()
+        if lowered.startswith("openqasm") or lowered.startswith("include"):
+            continue
+        match = _QREG_RE.match(stmt)
+        if match:
+            num_qubits += int(match.group(2))
+            continue
+        match = _CREG_RE.match(stmt)
+        if match:
+            num_clbits += int(match.group(2))
+            continue
+        pending.append(stmt)
+
+    if num_qubits == 0:
+        raise QasmError("program declares no qubits")
+    circuit = QuantumCircuit(num_qubits, num_clbits)
+
+    for stmt in pending:
+        _parse_statement(stmt, circuit)
+    return circuit
+
+
+def _parse_statement(stmt: str, circuit: QuantumCircuit) -> None:
+    match = _MEASURE_RE.match(stmt)
+    if match:
+        circuit.measure(int(match.group(2)), int(match.group(4)))
+        return
+    match = _GATE_RE.match(stmt)
+    if not match:
+        raise QasmError(f"cannot parse statement: {stmt!r}")
+    name, param_text, operand_text = match.groups()
+    qubits = [int(m.group(2)) for m in _OPERAND_RE.finditer(operand_text)]
+    if name == "barrier":
+        circuit.append(Barrier(len(qubits)), qubits)
+        return
+    params = (
+        [_eval_param(p) for p in param_text.split(",")] if param_text else []
+    )
+    try:
+        gate = gate_from_name(name, params)
+    except KeyError as exc:
+        raise QasmError(f"unsupported gate {name!r}") from exc
+    circuit.append(gate, qubits)

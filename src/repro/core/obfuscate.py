@@ -1,0 +1,100 @@
+"""TetrisLock obfuscation driver.
+
+Wraps Algorithm 1 (:mod:`repro.core.insertion`) with the bookkeeping
+the rest of the pipeline needs: overhead reporting against Table I's
+columns, functional-equivalence checking, and gate-pool tailoring
+(Sec. V-A: X/CX for arithmetic circuits, H for Grover-style ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..metrics.overhead import OverheadReport, compare_circuits
+from .insertion import InsertionResult, insert_random_pairs
+
+__all__ = ["TetrisLockObfuscator", "ObfuscationReport"]
+
+
+@dataclass
+class ObfuscationReport:
+    """Structural summary of one obfuscation run (Table I columns)."""
+
+    insertion: InsertionResult
+    overhead_full: OverheadReport  # original vs R†RC
+    overhead_rc: OverheadReport  # original vs RC (what the paper reports)
+
+    @property
+    def depth_preserved(self) -> bool:
+        return (
+            self.overhead_full.preserves_depth()
+            and self.overhead_rc.preserves_depth()
+        )
+
+    @property
+    def inserted_gates(self) -> int:
+        return self.insertion.num_inserted_gates
+
+    def __repr__(self) -> str:
+        return (
+            f"ObfuscationReport(pairs={self.insertion.num_pairs}, "
+            f"depth_preserved={self.depth_preserved}, "
+            f"rc_gates=+{self.overhead_rc.gate_increase})"
+        )
+
+
+class TetrisLockObfuscator:
+    """Configurable front half of the TetrisLock flow.
+
+    Parameters
+    ----------
+    gate_limit:
+        Maximum number of random (R) gates; the paper inserts 1–4.
+    gate_pool:
+        Self-inverse pool; ``("x", "cx")`` matches the RevLib
+        experiments, ``("h",)`` the Grover tailoring.
+    seed:
+        Randomness for slot and gate selection.
+    """
+
+    def __init__(
+        self,
+        gate_limit: int = 4,
+        gate_pool: Sequence[str] = ("x", "cx"),
+        seed: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        self.gate_limit = gate_limit
+        self.gate_pool = tuple(gate_pool)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+
+    def obfuscate(self, circuit: QuantumCircuit) -> InsertionResult:
+        """Insert random pairs; returns the raw insertion result."""
+        if circuit.has_measurements():
+            raise ValueError(
+                "obfuscate the unitary circuit; add measurements after "
+                "de-obfuscation"
+            )
+        return insert_random_pairs(
+            circuit,
+            gate_limit=self.gate_limit,
+            seed=self._rng,
+            gate_pool=self.gate_pool,
+        )
+
+    def obfuscate_with_report(
+        self, circuit: QuantumCircuit
+    ) -> ObfuscationReport:
+        """Obfuscate and compute the Table I structural columns."""
+        insertion = self.obfuscate(circuit)
+        return ObfuscationReport(
+            insertion=insertion,
+            overhead_full=compare_circuits(circuit, insertion.obfuscated),
+            overhead_rc=compare_circuits(circuit, insertion.rc_circuit()),
+        )

@@ -1,0 +1,37 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+* :mod:`repro.experiments.table1` — Table I (overhead + accuracy).
+* :mod:`repro.experiments.figure4` — Figure 4 (TVD distributions).
+* :mod:`repro.experiments.attack_complexity` — Eq. 1 comparison and
+  the concrete brute-force collusion attack.
+* :mod:`repro.experiments.ablation_insertion` — insertion-strategy
+  ablation (empty-slot vs block prepend).
+"""
+
+from .ablation_insertion import render_ablation, run_ablation
+from .sweep_gate_limit import render_sweep, run_gate_limit_sweep
+from .attack_complexity import (
+    demo_bruteforce_attack,
+    generate_complexity_table,
+    render_complexity_table,
+)
+from .figure4 import generate_figure4, render_figure4
+from .runner import AggregateResult, run_benchmark, run_suite
+from .table1 import generate_table1, render_table1
+
+__all__ = [
+    "run_suite",
+    "run_benchmark",
+    "AggregateResult",
+    "generate_table1",
+    "render_table1",
+    "generate_figure4",
+    "render_figure4",
+    "generate_complexity_table",
+    "render_complexity_table",
+    "demo_bruteforce_attack",
+    "run_ablation",
+    "render_ablation",
+    "run_gate_limit_sweep",
+    "render_sweep",
+]

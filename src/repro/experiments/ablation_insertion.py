@@ -1,0 +1,130 @@
+"""Experiment E7 (ablation): empty-slot insertion vs naive prepending.
+
+DESIGN.md calls out TetrisLock's depth-preserving empty-slot insertion
+as a key design choice.  This ablation compares, across the RevLib
+suite:
+
+* **tetrislock** — Algorithm 1 pair insertion into empty slots
+  (expected: zero depth overhead);
+* **das-front / das-middle** — the random-block insertion baseline
+  (expected: positive depth overhead, growing with block size);
+
+and reports structural overhead plus whether each scheme needs a
+trusted compiler for the restore step.
+
+Run as a script::
+
+    python -m repro.experiments.ablation_insertion
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.das_insertion import das_insertion
+from ..core.insertion import insert_random_pairs
+from ..revlib.benchmarks import paper_suite
+
+__all__ = ["AblationRow", "run_ablation", "render_ablation", "main"]
+
+
+@dataclass
+class AblationRow:
+    benchmark: str
+    scheme: str
+    depth_overhead: float
+    gate_overhead: float
+    needs_trusted_compiler: bool
+
+
+def run_ablation(
+    iterations: int = 10,
+    seed: int = 7,
+    num_random_gates: int = 4,
+) -> List[AblationRow]:
+    """Average structural overhead per benchmark and scheme."""
+    rng = np.random.default_rng(seed)
+    rows: List[AblationRow] = []
+    for record in paper_suite():
+        circuit = record.circuit()
+        tetris_depth, tetris_gates = [], []
+        das_front_depth, das_front_gates = [], []
+        das_mid_depth, das_mid_gates = [], []
+        for _ in range(iterations):
+            ins = insert_random_pairs(
+                circuit, gate_limit=num_random_gates, seed=rng
+            )
+            rc = ins.rc_circuit()
+            tetris_depth.append(rc.depth() - circuit.depth())
+            tetris_gates.append(rc.size() - circuit.size())
+            front = das_insertion(
+                circuit, num_random_gates, "front", seed=rng
+            )
+            das_front_depth.append(front.depth_overhead)
+            das_front_gates.append(front.gate_overhead)
+            middle = das_insertion(
+                circuit, num_random_gates, "middle", seed=rng
+            )
+            das_mid_depth.append(middle.depth_overhead)
+            das_mid_gates.append(middle.gate_overhead)
+        rows.append(
+            AblationRow(
+                record.name, "tetrislock",
+                float(np.mean(tetris_depth)), float(np.mean(tetris_gates)),
+                needs_trusted_compiler=False,
+            )
+        )
+        rows.append(
+            AblationRow(
+                record.name, "das-front",
+                float(np.mean(das_front_depth)),
+                float(np.mean(das_front_gates)),
+                needs_trusted_compiler=True,
+            )
+        )
+        rows.append(
+            AblationRow(
+                record.name, "das-middle",
+                float(np.mean(das_mid_depth)),
+                float(np.mean(das_mid_gates)),
+                needs_trusted_compiler=True,
+            )
+        )
+    return rows
+
+
+def render_ablation(rows: List[AblationRow]) -> str:
+    lines = [
+        f"{'benchmark':>14} {'scheme':>12} {'depth+':>8} {'gates+':>8} "
+        f"{'trusted?':>9}",
+        "-" * 56,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:>14} {row.scheme:>12} "
+            f"{row.depth_overhead:>8.2f} {row.gate_overhead:>8.2f} "
+            f"{'yes' if row.needs_trusted_compiler else 'no':>9}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Insertion-strategy ablation"
+    )
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--gates", type=int, default=4)
+    args = parser.parse_args(argv)
+    rows = run_ablation(
+        iterations=args.iterations, num_random_gates=args.gates
+    )
+    print(render_ablation(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

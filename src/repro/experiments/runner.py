@@ -1,0 +1,123 @@
+"""Shared experiment runner: iterate the pipeline over benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pipeline import EvaluationResult, TetrisLockPipeline
+from ..revlib.benchmarks import BenchmarkRecord, paper_suite
+
+__all__ = ["AggregateResult", "run_suite", "run_benchmark"]
+
+
+@dataclass
+class AggregateResult:
+    """Iteration-averaged metrics for one benchmark (one Table I row)."""
+
+    name: str
+    iterations: List[EvaluationResult] = field(default_factory=list)
+
+    def _mean(self, attr: str) -> float:
+        return float(
+            np.mean([getattr(it, attr) for it in self.iterations])
+        )
+
+    def _values(self, attr: str) -> List[float]:
+        return [float(getattr(it, attr)) for it in self.iterations]
+
+    # -- Table I columns --------------------------------------------------
+    @property
+    def depth(self) -> float:
+        return self._mean("depth_original")
+
+    @property
+    def depth_obfuscated(self) -> float:
+        return self._mean("depth_obfuscated")
+
+    @property
+    def gates(self) -> float:
+        return self._mean("gates_original")
+
+    @property
+    def gates_obfuscated(self) -> float:
+        return self._mean("gates_obfuscated")
+
+    @property
+    def gate_change_pct(self) -> float:
+        return self._mean("gate_change_pct")
+
+    @property
+    def accuracy(self) -> float:
+        return self._mean("accuracy_original")
+
+    @property
+    def accuracy_restored(self) -> float:
+        return self._mean("accuracy_restored")
+
+    @property
+    def accuracy_change_pct(self) -> float:
+        return 100.0 * self._mean("accuracy_change")
+
+    # -- Figure 4 series ---------------------------------------------------
+    @property
+    def tvd_obfuscated_values(self) -> List[float]:
+        return self._values("tvd_obfuscated")
+
+    @property
+    def tvd_restored_values(self) -> List[float]:
+        return self._values("tvd_restored")
+
+    @property
+    def depth_always_preserved(self) -> bool:
+        return all(it.depth_preserved for it in self.iterations)
+
+
+def run_benchmark(
+    record: BenchmarkRecord,
+    iterations: int = 20,
+    shots: int = 1000,
+    seed: Optional[int] = None,
+    gate_limit: int = 4,
+) -> AggregateResult:
+    """Run the full pipeline *iterations* times on one benchmark."""
+    rng = np.random.default_rng(seed)
+    aggregate = AggregateResult(record.name)
+    circuit = record.circuit()
+    for _ in range(iterations):
+        pipeline = TetrisLockPipeline(
+            shots=shots, gate_limit=gate_limit, seed=rng
+        )
+        aggregate.iterations.append(
+            pipeline.evaluate(
+                circuit,
+                name=record.name,
+                output_qubits=record.output_qubits,
+            )
+        )
+    return aggregate
+
+
+def run_suite(
+    records: Optional[Sequence[BenchmarkRecord]] = None,
+    iterations: int = 20,
+    shots: int = 1000,
+    seed: Optional[int] = None,
+    gate_limit: int = 4,
+) -> Dict[str, AggregateResult]:
+    """Run the pipeline over a benchmark suite (defaults to Table I)."""
+    if records is None:
+        records = paper_suite()
+    results: Dict[str, AggregateResult] = {}
+    for index, record in enumerate(records):
+        record_seed = None if seed is None else seed + index
+        results[record.name] = run_benchmark(
+            record,
+            iterations=iterations,
+            shots=shots,
+            seed=record_seed,
+            gate_limit=gate_limit,
+        )
+    return results

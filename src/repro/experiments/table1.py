@@ -1,0 +1,106 @@
+"""Experiment E1: regenerate Table I.
+
+For every RevLib benchmark: circuit depth (original vs obfuscated),
+gate count (original vs obfuscated, iteration-averaged), gate change
+percentage, noisy accuracy of the original compiled circuit, accuracy
+after split compilation + restoration, and the accuracy change — the
+averages of 20 iterations at 1000 shots, exactly the procedure of
+Sec. V.
+
+Run as a script::
+
+    python -m repro.experiments.table1 [--iterations N] [--shots S]
+
+Absolute accuracies depend on the noise calibration (ours is
+representative rather than the authors' 2021 snapshot — see DESIGN.md);
+the claims checked by the benches are the paper's structural ones:
+zero depth increase, ~20% average gate increase from 1–4 inserted
+gates, and accuracy change below ~1–2%.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from ..revlib.benchmarks import TABLE1_PAPER_VALUES, paper_suite
+from .runner import AggregateResult, run_suite
+
+__all__ = ["generate_table1", "render_table1", "main"]
+
+_COLUMNS = [
+    ("Circuit", "name", "s"),
+    ("Depth", "depth", ".0f"),
+    ("DepthObf", "depth_obfuscated", ".0f"),
+    ("Gates", "gates", ".0f"),
+    ("GatesObf", "gates_obfuscated", ".1f"),
+    ("Gate+%", "gate_change_pct", ".1f"),
+    ("Acc", "accuracy", ".3f"),
+    ("AccRest", "accuracy_restored", ".3f"),
+    ("AccΔ%", "accuracy_change_pct", ".2f"),
+]
+
+
+def generate_table1(
+    iterations: int = 20,
+    shots: int = 1000,
+    seed: Optional[int] = 2025,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, AggregateResult]:
+    """Compute all Table I rows; returns name -> aggregate."""
+    records = paper_suite()
+    if benchmarks:
+        records = [r for r in records if r.name in set(benchmarks)]
+    return run_suite(
+        records, iterations=iterations, shots=shots, seed=seed
+    )
+
+
+def render_table1(
+    results: Dict[str, AggregateResult], show_paper: bool = True
+) -> str:
+    """Format results (and the paper's reference values) as text."""
+    header = " | ".join(f"{title:>9}" for title, _, _ in _COLUMNS)
+    lines = [header, "-" * len(header)]
+    for name, agg in results.items():
+        cells: List[str] = []
+        for title, attr, fmt in _COLUMNS:
+            value = getattr(agg, attr)
+            cells.append(f"{value:>9{fmt}}" if fmt != "s" else f"{value:>9s}")
+        lines.append(" | ".join(cells))
+        if show_paper and name in TABLE1_PAPER_VALUES:
+            paper = TABLE1_PAPER_VALUES[name]
+            ref = (
+                f"{'(paper)':>9} | {paper['depth']:>9.0f} | "
+                f"{paper['depth_obf']:>9.0f} | {paper['gates']:>9.0f} | "
+                f"{paper['gates_obf']:>9.1f} | "
+                f"{paper['gate_change_pct']:>9.1f} | "
+                f"{paper['accuracy']:>9.3f} | "
+                f"{paper['accuracy_restored']:>9.3f} | "
+                f"{paper['accuracy_change_pct']:>9.2f}"
+            )
+            lines.append(ref)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate Table I")
+    parser.add_argument("--iterations", type=int, default=20)
+    parser.add_argument("--shots", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument(
+        "--benchmarks", nargs="*", help="subset of benchmark names"
+    )
+    args = parser.parse_args(argv)
+    results = generate_table1(
+        iterations=args.iterations,
+        shots=args.shots,
+        seed=args.seed,
+        benchmarks=args.benchmarks,
+    )
+    print(render_table1(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

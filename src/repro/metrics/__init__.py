@@ -1,0 +1,17 @@
+"""Evaluation metrics: TVD (Eq. 2), accuracy, fidelity, overhead."""
+
+from .accuracy import accuracy, hellinger_distance, hellinger_fidelity
+from .overhead import OverheadReport, compare_circuits
+from .tvd import reference_distribution, tvd, tvd_counts, tvd_to_reference
+
+__all__ = [
+    "tvd",
+    "tvd_counts",
+    "tvd_to_reference",
+    "reference_distribution",
+    "accuracy",
+    "hellinger_fidelity",
+    "hellinger_distance",
+    "OverheadReport",
+    "compare_circuits",
+]

@@ -1,0 +1,44 @@
+"""Accuracy and fidelity metrics for shot histograms.
+
+The paper's "accuracy" is the ratio of correct outcomes to total shots
+(Sec. V-D2); Hellinger fidelity is included as the standard
+distribution-level counterpart used by Qiskit's result analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+__all__ = ["accuracy", "hellinger_fidelity", "hellinger_distance"]
+
+CountsLike = Mapping[str, int]
+
+
+def accuracy(counts: CountsLike, expected_bitstring: str) -> float:
+    """Fraction of shots that produced the expected bitstring."""
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("no shots recorded")
+    return counts.get(expected_bitstring, 0) / total
+
+
+def hellinger_distance(p: CountsLike, q: CountsLike) -> float:
+    """Hellinger distance between two count histograms (in [0, 1])."""
+    total_p = sum(p.values())
+    total_q = sum(q.values())
+    if total_p == 0 or total_q == 0:
+        raise ValueError("cannot compare empty counts")
+    keys = set(p) | set(q)
+    bc = sum(
+        math.sqrt((p.get(k, 0) / total_p) * (q.get(k, 0) / total_q))
+        for k in keys
+    )
+    bc = min(bc, 1.0)
+    return math.sqrt(1.0 - bc)
+
+
+def hellinger_fidelity(p: CountsLike, q: CountsLike) -> float:
+    """``(1 - H(p,q)^2)^2`` — Qiskit's Hellinger fidelity convention."""
+    h = hellinger_distance(p, q)
+    return (1.0 - h ** 2) ** 2

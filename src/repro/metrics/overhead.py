@@ -1,0 +1,62 @@
+"""Depth / gate-count overhead reporting (Table I columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["OverheadReport", "compare_circuits"]
+
+
+@dataclass
+class OverheadReport:
+    """Structural overhead of an obfuscated circuit vs its original."""
+
+    depth_before: int
+    depth_after: int
+    gates_before: int
+    gates_after: int
+
+    @property
+    def depth_increase(self) -> int:
+        return self.depth_after - self.depth_before
+
+    @property
+    def depth_increase_pct(self) -> float:
+        if self.depth_before == 0:
+            return 0.0
+        return 100.0 * self.depth_increase / self.depth_before
+
+    @property
+    def gate_increase(self) -> int:
+        return self.gates_after - self.gates_before
+
+    @property
+    def gate_increase_pct(self) -> float:
+        if self.gates_before == 0:
+            return 0.0
+        return 100.0 * self.gate_increase / self.gates_before
+
+    def preserves_depth(self) -> bool:
+        """The paper's headline structural claim: 0% depth increase."""
+        return self.depth_after <= self.depth_before
+
+    def __repr__(self) -> str:
+        return (
+            f"OverheadReport(depth {self.depth_before}->{self.depth_after}, "
+            f"gates {self.gates_before}->{self.gates_after} "
+            f"(+{self.gate_increase_pct:.1f}%))"
+        )
+
+
+def compare_circuits(
+    original: QuantumCircuit, modified: QuantumCircuit
+) -> OverheadReport:
+    """Build an :class:`OverheadReport` for an original/modified pair."""
+    return OverheadReport(
+        depth_before=original.depth(),
+        depth_after=modified.depth(),
+        gates_before=original.size(),
+        gates_after=modified.size(),
+    )

@@ -1,0 +1,66 @@
+"""Total Variation Distance (paper Eq. 2).
+
+``TVD = sum_i |y_i_orig - y_i_alter| / (2 N)`` over all outcome
+bitstrings, with ``N`` the shot count.  The paper computes TVD against
+the *theoretical* output — for RevLib circuits a single deterministic
+bitstring — so a reference-distribution helper is included.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from ..simulator.counts import Counts
+
+__all__ = ["tvd", "tvd_counts", "tvd_to_reference", "reference_distribution"]
+
+CountsLike = Mapping[str, int]
+
+
+def tvd(p: Mapping[str, float], q: Mapping[str, float]) -> float:
+    """TVD between two probability distributions over bitstrings."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def tvd_counts(
+    counts_a: CountsLike,
+    counts_b: CountsLike,
+    shots: Union[int, None] = None,
+) -> float:
+    """Eq. 2 of the paper: TVD between two count histograms.
+
+    Both histograms must come from the same number of shots; when they
+    differ, each is normalised by its own total (the standard
+    generalisation).
+    """
+    total_a = shots if shots is not None else sum(counts_a.values())
+    total_b = shots if shots is not None else sum(counts_b.values())
+    if total_a == 0 or total_b == 0:
+        raise ValueError("cannot compute TVD of empty counts")
+    keys = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a.get(k, 0) / total_a - counts_b.get(k, 0) / total_b)
+        for k in keys
+    )
+
+
+def reference_distribution(bitstring: str) -> Dict[str, float]:
+    """The theoretical (noiseless) distribution of a RevLib circuit:
+    all probability mass on one deterministic outcome."""
+    return {bitstring: 1.0}
+
+
+def tvd_to_reference(counts: CountsLike, expected_bitstring: str) -> float:
+    """TVD between measured counts and the deterministic reference.
+
+    This is the quantity plotted in the paper's Figure 4 ("TVD is
+    calculated as the variation distance with the theoretical output").
+    Equals ``1 - P(expected)``, bounded in [0, 1].
+    """
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("cannot compute TVD of empty counts")
+    correct = counts.get(expected_bitstring, 0) / total
+    # 0.5 * (|correct - 1| + sum of other mass) = 1 - correct
+    return 1.0 - correct

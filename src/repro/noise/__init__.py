@@ -1,0 +1,46 @@
+"""Noise channels, noise models and fake device backends."""
+
+from .backend import (
+    Backend,
+    GateCalibration,
+    QubitCalibration,
+    VALENCIA_BASIS_GATES,
+    VALENCIA_COUPLING,
+    fake_valencia,
+    valencia_like_backend,
+)
+from .channels import (
+    QuantumChannel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+    tensor_channel,
+    thermal_relaxation,
+)
+from .model import BoundError, NoiseModel
+
+__all__ = [
+    "QuantumChannel",
+    "ReadoutError",
+    "bit_flip",
+    "phase_flip",
+    "bit_phase_flip",
+    "depolarizing",
+    "amplitude_damping",
+    "phase_damping",
+    "thermal_relaxation",
+    "tensor_channel",
+    "NoiseModel",
+    "BoundError",
+    "Backend",
+    "QubitCalibration",
+    "GateCalibration",
+    "fake_valencia",
+    "valencia_like_backend",
+    "VALENCIA_BASIS_GATES",
+    "VALENCIA_COUPLING",
+]

@@ -1,0 +1,25 @@
+"""RevLib benchmark circuits and the ``.real`` netlist format."""
+
+from .benchmarks import (
+    BENCHMARKS,
+    BenchmarkRecord,
+    TABLE1_PAPER_VALUES,
+    benchmark_circuit,
+    benchmark_names,
+    load_benchmark,
+    paper_suite,
+)
+from .real_format import RealFormatError, parse_real, write_real
+
+__all__ = [
+    "parse_real",
+    "write_real",
+    "RealFormatError",
+    "BenchmarkRecord",
+    "BENCHMARKS",
+    "TABLE1_PAPER_VALUES",
+    "benchmark_names",
+    "load_benchmark",
+    "benchmark_circuit",
+    "paper_suite",
+]

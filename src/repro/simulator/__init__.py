@@ -1,0 +1,40 @@
+"""Simulation engines: statevector, unitary, trajectory and density."""
+
+from .batched import BatchedTrajectorySimulator, run_counts_batched
+from .counts import Counts
+from .observables import (
+    expectation_value,
+    parity_expectation_from_counts,
+    pauli_string_matrix,
+    z_expectation_from_counts,
+)
+from .density import DensityMatrix, DensityMatrixSimulator
+from .statevector import Statevector, bitstring_to_index, format_bitstring
+from .trajectory import TrajectorySimulator, run_counts
+from .unitary import (
+    circuit_unitary,
+    circuits_equivalent,
+    equal_up_to_global_phase,
+    permutation_matrix,
+)
+
+__all__ = [
+    "BatchedTrajectorySimulator",
+    "run_counts_batched",
+    "Statevector",
+    "format_bitstring",
+    "bitstring_to_index",
+    "Counts",
+    "TrajectorySimulator",
+    "run_counts",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "equal_up_to_global_phase",
+    "permutation_matrix",
+    "pauli_string_matrix",
+    "expectation_value",
+    "z_expectation_from_counts",
+    "parity_expectation_from_counts",
+]

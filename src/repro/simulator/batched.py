@@ -1,0 +1,329 @@
+"""Vectorised (batched) trajectory simulation.
+
+The per-shot trajectory sampler in :mod:`repro.simulator.trajectory`
+pays numpy call overhead for every gate of every shot.  This engine
+keeps *all* shots in one ``(shots, 2, ..., 2)`` tensor and applies each
+gate once:
+
+* unitary gates: a single tensordot over the batch;
+* mixed-unitary channels (Pauli/depolarizing): sample a branch per
+  shot from the fixed probabilities, then apply each distinct branch to
+  its shot-subset;
+* general Kraus channels: two passes — norms of every branch on every
+  shot (vectorised), categorical sampling, then per-branch application
+  with renormalisation;
+* readout errors: vectorised bit flips on the sampled outcomes.
+
+Restrictions: measurements must be terminal (no gate after a measure on
+the same qubit); mid-circuit measurement falls back to the per-shot
+engine.  Statistics are identical to :class:`TrajectorySimulator` —
+property tests in ``tests/simulator`` check the agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
+from .counts import Counts
+from .statevector import format_bitstring
+from .trajectory import TrajectorySimulator, _measures_are_terminal
+
+__all__ = ["BatchedTrajectorySimulator", "run_counts_batched"]
+
+
+class BatchedTrajectorySimulator:
+    """Noisy shot sampler with all trajectories evolved in one tensor."""
+
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel] = None,
+        seed: Optional[Union[int, np.random.Generator]] = None,
+        dtype: np.dtype = np.complex64,
+    ) -> None:
+        """*dtype* defaults to ``complex64``: the kernels are memory
+        bound, so single precision halves the runtime, and its ~1e-7
+        error is negligible against shot noise (1/sqrt(shots) ~ 3%).
+        Pass ``numpy.complex128`` for full precision."""
+        self.noise_model = noise_model
+        self.dtype = np.dtype(dtype)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, shots: int = 1000) -> Counts:
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        if not _measures_are_terminal(circuit):
+            fallback = TrajectorySimulator(self.noise_model, self._rng)
+            return fallback.run(circuit, shots)
+        n = circuit.num_qubits
+        batch = np.zeros((shots,) + (2,) * n, dtype=self.dtype)
+        batch[(slice(None),) + (0,) * n] = 1.0
+
+        measured: List[Tuple[int, int]] = []
+        for inst in circuit:
+            if inst.is_barrier:
+                continue
+            if inst.is_measure:
+                measured.append((inst.qubits[0], inst.clbits[0]))
+                continue
+            batch = _apply_matrix_batch(
+                batch, inst.operation.matrix, inst.qubits
+            )
+            if self.noise_model is not None:
+                for bound in self.noise_model.errors_for(inst):
+                    batch = self._apply_channel_batch(
+                        batch, bound.channel, bound.resolve(inst)
+                    )
+        outcomes = self._sample_outcomes(batch, n)
+        outcomes = self._apply_readout(outcomes, n)
+        return self._histogram(outcomes, measured, circuit, n, shots)
+
+    # ------------------------------------------------------------------
+    def _apply_channel_batch(
+        self, batch: np.ndarray, channel, qubits: Sequence[int]
+    ) -> np.ndarray:
+        operators = channel.kraus_operators
+        if len(operators) == 1:
+            return _apply_matrix_batch(batch, operators[0], qubits)
+        shots = batch.shape[0]
+        mixed = getattr(channel, "mixed_unitary_probs", None)
+        identity_flags = getattr(
+            channel, "scalar_identity_flags", [False] * len(operators)
+        )
+        if mixed is not None:
+            branches = self._rng.choice(
+                len(operators), size=shots, p=np.asarray(mixed) / sum(mixed)
+            )
+            for index in np.unique(branches):
+                if identity_flags[index]:
+                    continue  # skip the gather/scatter for no-op branches
+                weight = mixed[index]
+                op = operators[index] / np.sqrt(weight)
+                mask = branches == index
+                if mask.all():
+                    batch = _apply_matrix_batch(batch, op, qubits)
+                else:
+                    batch[mask] = _apply_matrix_batch(
+                        batch[mask], op, qubits
+                    )
+            return batch
+        # general Kraus: branch probabilities via the reduced density
+        # matrix of the channel's qubits — ||K psi||^2 = Tr(K rho K†),
+        # computed with one pass over the batch instead of one
+        # full-state application per Kraus operator
+        rho = _reduced_density_batch(batch, qubits)
+        norms = np.empty((len(operators), shots))
+        for i, op in enumerate(operators):
+            gram = op.conj().T @ op  # ||K psi||^2 = Tr(gram @ rho)
+            norms[i] = np.einsum("ij,sji->s", gram, rho).real
+        norms = np.maximum(norms, 0.0)
+        totals = np.maximum(norms.sum(axis=0), 1e-300)
+        probs = norms / totals
+        draws = self._rng.random(shots)
+        cumulative = np.cumsum(probs, axis=0)
+        branches = (draws[None, :] > cumulative).sum(axis=0)
+        branches = np.minimum(branches, len(operators) - 1)
+        # renormalisation factors come from the precomputed norms —
+        # no extra pass over the batch
+        chosen_norms = np.sqrt(
+            np.maximum(norms[branches, np.arange(shots)], 1e-300)
+        )
+        scale = (1.0 / chosen_norms).reshape(
+            (-1,) + (1,) * (batch.ndim - 1)
+        )
+        unique_branches = np.unique(branches)
+        if len(unique_branches) == 1:
+            # common case under weak noise: every shot takes the same
+            # branch; apply in one pass without gather/scatter copies
+            index = int(unique_branches[0])
+            out = _apply_matrix_batch(batch, operators[index], qubits)
+            out *= scale
+            return out
+        out = np.empty_like(batch)
+        for index in unique_branches:
+            mask = branches == index
+            out[mask] = _apply_matrix_batch(
+                batch[mask], operators[index], qubits
+            )
+        out *= scale
+        return out
+
+    # ------------------------------------------------------------------
+    def _sample_outcomes(self, batch: np.ndarray, n: int) -> np.ndarray:
+        """Sample one little-endian basis index per shot."""
+        shots = batch.shape[0]
+        # reorder axes so flattening is little-endian (qubit 0 = LSB)
+        axes = (0,) + tuple(range(n, 0, -1))
+        probs = np.abs(batch.transpose(axes).reshape(shots, -1)) ** 2
+        probs /= probs.sum(axis=1, keepdims=True)
+        draws = self._rng.random(shots)
+        cumulative = np.cumsum(probs, axis=1)
+        outcomes = (draws[:, None] > cumulative).sum(axis=1)
+        return np.minimum(outcomes, probs.shape[1] - 1)
+
+    def _apply_readout(self, outcomes: np.ndarray, n: int) -> np.ndarray:
+        if self.noise_model is None or not self.noise_model.has_readout_errors():
+            return outcomes
+        shots = outcomes.shape[0]
+        for qubit in range(n):
+            error = self.noise_model.readout_error(qubit)
+            if error is None:
+                continue
+            bits = (outcomes >> qubit) & 1
+            flip_probs = np.where(
+                bits == 0, error.prob_1_given_0, error.prob_0_given_1
+            )
+            flips = self._rng.random(shots) < flip_probs
+            outcomes = outcomes ^ (flips.astype(np.int64) << qubit)
+        return outcomes
+
+    def _histogram(
+        self,
+        outcomes: np.ndarray,
+        measured: List[Tuple[int, int]],
+        circuit: QuantumCircuit,
+        n: int,
+        shots: int,
+    ) -> Counts:
+        if measured:
+            num_clbits = max(circuit.num_clbits, 1)
+            mapped = np.zeros_like(outcomes)
+            for qubit, clbit in measured:
+                mapped |= ((outcomes >> qubit) & 1) << clbit
+            outcomes, width = mapped, num_clbits
+        else:
+            width = n
+        values, frequencies = np.unique(outcomes, return_counts=True)
+        histogram: Dict[str, int] = {
+            format_bitstring(int(v), width): int(c)
+            for v, c in zip(values, frequencies)
+        }
+        return Counts(histogram, shots=shots)
+
+
+def _reduced_density_batch(
+    batch: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Per-shot reduced density matrix on *qubits*: shape (shots, d, d).
+
+    Index ordering matches the gate-matrix convention (first listed
+    qubit most significant).  The single-qubit case uses a zero-copy
+    reshape view of the contiguous batch.
+    """
+    shots = batch.shape[0]
+    n = batch.ndim - 1
+    if len(qubits) == 1 and batch.flags.c_contiguous:
+        q = qubits[0]
+        left = 2 ** q
+        right = 2 ** (n - 1 - q)
+        view = batch.reshape(shots, left, 2, right)
+        # rho entries via three real reductions — no per-shot matmuls
+        amp0 = view[:, :, 0, :].reshape(shots, -1)
+        amp1 = view[:, :, 1, :].reshape(shots, -1)
+        rho = np.empty((shots, 2, 2), dtype=np.complex128)
+        rho[:, 0, 0] = np.einsum("sk,sk->s", amp0, amp0.conj()).real
+        rho[:, 1, 1] = np.einsum("sk,sk->s", amp1, amp1.conj()).real
+        cross = np.einsum("sk,sk->s", amp0, amp1.conj())
+        rho[:, 0, 1] = cross
+        rho[:, 1, 0] = cross.conj()
+        return rho
+    k = len(qubits)
+    target_axes = [q + 1 for q in qubits]
+    moved = np.moveaxis(batch, target_axes, range(1, k + 1))
+    flat = moved.reshape(shots, 2 ** k, -1)
+    return np.einsum("sir,sjr->sij", flat, flat.conj())
+
+
+_SWAP2 = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+def _is_identity(matrix: np.ndarray) -> bool:
+    return bool(
+        np.allclose(matrix, np.eye(matrix.shape[0]), atol=1e-12)
+    )
+
+
+def _apply_matrix_batch(
+    batch: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a k-qubit matrix to the shot batch.
+
+    Fast paths for 1- and 2-qubit gates use reshape *views* (the batch
+    tensor is C-contiguous, so grouping adjacent qubit axes is free)
+    and a single einsum pass — roughly 3x fewer 65-MB copies than the
+    generic tensordot route, which matters at 12 qubits x 1000 shots.
+    """
+    matrix = np.asarray(matrix)
+    if _is_identity(matrix):
+        return batch
+    matrix = matrix.astype(batch.dtype, copy=False)
+    shots = batch.shape[0]
+    n = batch.ndim - 1
+    if len(qubits) == 1 and batch.flags.c_contiguous:
+        q = qubits[0]
+        left = 2 ** q
+        right = 2 ** (n - 1 - q)
+        # one large GEMM: move the gate axis to the front, contract,
+        # move back.  Broadcasted per-shot matmuls are ~10x slower.
+        view = batch.reshape(shots * left, 2, right)
+        stacked = np.ascontiguousarray(view.transpose(1, 0, 2)).reshape(
+            2, -1
+        )
+        out = (matrix @ stacked).reshape(2, shots * left, right)
+        out = np.ascontiguousarray(out.transpose(1, 0, 2))
+        return out.reshape(batch.shape)
+    if len(qubits) == 2 and batch.flags.c_contiguous:
+        qa, qb = qubits
+        if qa > qb:
+            # normalise to ascending axis order by conjugating with SWAP
+            matrix = (_SWAP2 @ matrix @ _SWAP2).astype(
+                batch.dtype, copy=False
+            )
+            qa, qb = qb, qa
+        left = 2 ** qa
+        mid = 2 ** (qb - qa - 1)
+        right = 2 ** (n - 1 - qb)
+        view = batch.reshape(shots * left, 2, mid, 2, right)
+        stacked = np.ascontiguousarray(
+            view.transpose(1, 3, 0, 2, 4)
+        ).reshape(4, -1)
+        out = (matrix @ stacked).reshape(
+            2, 2, shots * left, mid, right
+        )
+        out = np.ascontiguousarray(out.transpose(2, 0, 3, 1, 4))
+        return out.reshape(batch.shape)
+    # generic path (3+ qubit gates, or non-contiguous batches)
+    k = len(qubits)
+    reshaped = matrix.reshape((2,) * (2 * k))
+    target_axes = [q + 1 for q in qubits]
+    moved = np.tensordot(
+        reshaped, batch, axes=(list(range(k, 2 * k)), target_axes)
+    )
+    # tensordot puts gate row axes first and the batch axis after them
+    moved = np.moveaxis(moved, k, 0)
+    return np.moveaxis(moved, range(1, k + 1), target_axes)
+
+
+def run_counts_batched(
+    circuit: QuantumCircuit,
+    shots: int = 1000,
+    noise_model: Optional[NoiseModel] = None,
+    seed: Optional[Union[int, np.random.Generator]] = None,
+) -> Counts:
+    """One-call helper mirroring :func:`repro.simulator.run_counts`."""
+    return BatchedTrajectorySimulator(noise_model, seed).run(circuit, shots)

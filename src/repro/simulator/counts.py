@@ -1,0 +1,76 @@
+"""Measurement counts container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["Counts"]
+
+
+class Counts(dict):
+    """``bitstring -> count`` histogram with convenience queries.
+
+    Bitstrings follow the project convention: qubit/clbit 0 is the
+    right-most character.
+    """
+
+    def __init__(
+        self, data: Optional[Mapping[str, int]] = None, shots: Optional[int] = None
+    ) -> None:
+        super().__init__(data or {})
+        self._declared_shots = shots
+
+    @property
+    def shots(self) -> int:
+        """Total number of recorded shots."""
+        if self._declared_shots is not None:
+            return self._declared_shots
+        return sum(self.values())
+
+    def probabilities(self) -> Dict[str, float]:
+        total = self.shots
+        if total == 0:
+            return {}
+        return {key: value / total for key, value in self.items()}
+
+    def most_frequent(self) -> str:
+        """Outcome with the highest count (ties -> lexicographically first)."""
+        if not self:
+            raise ValueError("no counts recorded")
+        best = max(self.values())
+        return min(key for key, value in self.items() if value == best)
+
+    def fraction(self, bitstring: str) -> float:
+        """Relative frequency of *bitstring* (0.0 when absent)."""
+        total = self.shots
+        return self.get(bitstring, 0) / total if total else 0.0
+
+    def marginal(self, positions: Iterable[int]) -> "Counts":
+        """Marginalise onto character *positions* counted from the right."""
+        positions = sorted(positions)
+        out: Dict[str, int] = {}
+        for key, value in self.items():
+            reversed_key = key[::-1]
+            reduced = "".join(
+                reversed_key[p] if p < len(reversed_key) else "0"
+                for p in positions
+            )[::-1]
+            out[reduced] = out.get(reduced, 0) + value
+        return Counts(out, shots=self._declared_shots)
+
+    def merge(self, other: "Counts") -> "Counts":
+        """Element-wise sum of two histograms."""
+        out = Counts(dict(self))
+        for key, value in other.items():
+            out[key] = out.get(key, 0) + value
+        out._declared_shots = None
+        return out
+
+    def int_outcomes(self) -> Dict[int, int]:
+        """Counts keyed by integer value of the bitstring."""
+        return {int(key, 2): value for key, value in self.items()}
+
+    def top(self, n: int) -> Tuple[Tuple[str, int], ...]:
+        """The *n* most frequent outcomes, descending."""
+        ordered = sorted(self.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(ordered[:n])

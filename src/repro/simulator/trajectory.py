@@ -1,0 +1,197 @@
+"""Shot-based simulation with optional noise (quantum trajectories).
+
+For noiseless circuits with only terminal measurements, a single
+statevector evolution plus multinomial sampling is used (fast path,
+identical statistics).  With a :class:`~repro.noise.model.NoiseModel`
+attached, every shot runs its own trajectory: after each gate the bound
+Kraus channels are sampled, measurements collapse the state, and
+readout errors flip the recorded classical bits.
+
+This mirrors how Qiskit Aer's statevector method executes the paper's
+``FakeValencia`` experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
+from .counts import Counts
+from .statevector import Statevector, format_bitstring
+
+__all__ = ["TrajectorySimulator", "run_counts"]
+
+
+class TrajectorySimulator:
+    """Noisy (or ideal) shot sampler for quantum circuits."""
+
+    def __init__(
+        self,
+        noise_model: Optional[NoiseModel] = None,
+        seed: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        self.noise_model = noise_model
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: QuantumCircuit, shots: int = 1000) -> Counts:
+        """Execute *circuit* for *shots* and return the histogram.
+
+        Circuits without measurements are treated as measure-all: the
+        returned bitstrings cover every qubit.  Circuits with explicit
+        measures report their classical register.
+        """
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        noiseless = self.noise_model is None or self.noise_model.is_trivial()
+        if noiseless and _measures_are_terminal(circuit):
+            return self._run_fast(circuit, shots)
+        return self._run_trajectories(circuit, shots)
+
+    # ------------------------------------------------------------------
+    def _run_fast(self, circuit: QuantumCircuit, shots: int) -> Counts:
+        state = Statevector(circuit.num_qubits)
+        measured: List[Tuple[int, int]] = []
+        for inst in circuit:
+            if inst.is_gate:
+                state.apply_matrix(inst.operation.matrix, inst.qubits)
+            elif inst.is_measure:
+                measured.append((inst.qubits[0], inst.clbits[0]))
+        if not measured:
+            raw = state.sample_counts(shots, rng=self._rng)
+            return Counts(raw, shots=shots)
+        probs = state.probabilities()
+        outcomes = self._rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        num_clbits = max(circuit.num_clbits, 1)
+        histogram: Dict[str, int] = {}
+        for outcome in outcomes:
+            bits = 0
+            for qubit, clbit in measured:
+                bits |= ((int(outcome) >> qubit) & 1) << clbit
+            key = format_bitstring(bits, num_clbits)
+            histogram[key] = histogram.get(key, 0) + 1
+        return Counts(histogram, shots=shots)
+
+    # ------------------------------------------------------------------
+    def _run_trajectories(self, circuit: QuantumCircuit, shots: int) -> Counts:
+        histogram: Dict[str, int] = {}
+        explicit_measures = circuit.has_measurements()
+        num_clbits = (
+            max(circuit.num_clbits, 1) if explicit_measures else circuit.num_qubits
+        )
+        for _ in range(shots):
+            key = self._single_trajectory(
+                circuit, explicit_measures, num_clbits
+            )
+            histogram[key] = histogram.get(key, 0) + 1
+        return Counts(histogram, shots=shots)
+
+    def _single_trajectory(
+        self,
+        circuit: QuantumCircuit,
+        explicit_measures: bool,
+        num_clbits: int,
+    ) -> str:
+        state = Statevector(circuit.num_qubits)
+        clbits = 0
+        for inst in circuit:
+            if inst.is_barrier:
+                continue
+            if inst.is_measure:
+                qubit, clbit = inst.qubits[0], inst.clbits[0]
+                outcome = state.measure_qubit(qubit, self._rng)
+                outcome = self._apply_readout(qubit, outcome)
+                clbits = (clbits & ~(1 << clbit)) | (outcome << clbit)
+                continue
+            state.apply_matrix(inst.operation.matrix, inst.qubits)
+            self._apply_noise(state, inst)
+        if explicit_measures:
+            return format_bitstring(clbits, num_clbits)
+        # measure-all semantics for unmeasured circuits
+        bits = 0
+        for qubit in range(circuit.num_qubits):
+            outcome = state.measure_qubit(qubit, self._rng)
+            outcome = self._apply_readout(qubit, outcome)
+            bits |= outcome << qubit
+        return format_bitstring(bits, num_clbits)
+
+    # ------------------------------------------------------------------
+    def _apply_noise(self, state: Statevector, inst) -> None:
+        if self.noise_model is None:
+            return
+        for bound in self.noise_model.errors_for(inst):
+            qubits = bound.resolve(inst)
+            self._apply_channel(state, bound.channel, qubits)
+
+    def _apply_channel(self, state: Statevector, channel, qubits) -> None:
+        """Sample one Kraus branch and renormalise (trajectory step)."""
+        operators = channel.kraus_operators
+        if len(operators) == 1:
+            state.apply_matrix(operators[0], qubits)
+            return
+        mixed_probs = getattr(channel, "mixed_unitary_probs", None)
+        if mixed_probs is not None:
+            # mixed-unitary fast path: state-independent probabilities
+            index = int(
+                np.searchsorted(
+                    np.cumsum(mixed_probs), self._rng.random()
+                )
+            )
+            index = min(index, len(operators) - 1)
+            op = operators[index]
+            weight = mixed_probs[index]
+            if weight > 0:
+                state.apply_matrix(op / np.sqrt(weight), qubits)
+            return
+        draw = self._rng.random()
+        cumulative = 0.0
+        saved = state.copy()
+        for index, op in enumerate(operators):
+            state.apply_matrix(op, qubits)
+            weight = state.norm() ** 2
+            cumulative += weight
+            if draw < cumulative or index == len(operators) - 1:
+                norm = state.norm()
+                if norm < 1e-12:
+                    # zero-probability branch forced on the last operator;
+                    # restore and keep the unperturbed state
+                    state._tensor = saved._tensor
+                    return
+                state._tensor = state._tensor / norm
+                return
+            state._tensor = saved._tensor.copy()
+
+    def _apply_readout(self, qubit: int, outcome: int) -> int:
+        if self.noise_model is None:
+            return outcome
+        error = self.noise_model.readout_error(qubit)
+        if error is None:
+            return outcome
+        return error.apply(outcome, self._rng)
+
+
+def _measures_are_terminal(circuit: QuantumCircuit) -> bool:
+    """True when no gate follows a measurement on any qubit."""
+    measured = set()
+    for inst in circuit:
+        if inst.is_measure:
+            measured.add(inst.qubits[0])
+        elif inst.is_gate and measured.intersection(inst.qubits):
+            return False
+    return True
+
+
+def run_counts(
+    circuit: QuantumCircuit,
+    shots: int = 1000,
+    noise_model: Optional[NoiseModel] = None,
+    seed: Optional[Union[int, np.random.Generator]] = None,
+) -> Counts:
+    """One-call helper: simulate *circuit* and return its counts."""
+    return TrajectorySimulator(noise_model, seed).run(circuit, shots)

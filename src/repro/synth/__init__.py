@@ -1,0 +1,21 @@
+"""Reversible-logic synthesis and gate decomposition."""
+
+from .decompose import (
+    ccx_decomposition,
+    expand_mcx_gates,
+    mcx_decomposition,
+    mcz_parity_network,
+)
+from .mmd import synthesis_gate_count, synthesize_mmd
+from .truthtable import TruthTable, simulate_reversible
+
+__all__ = [
+    "TruthTable",
+    "simulate_reversible",
+    "synthesize_mmd",
+    "synthesis_gate_count",
+    "ccx_decomposition",
+    "mcx_decomposition",
+    "mcz_parity_network",
+    "expand_mcx_gates",
+]

@@ -1,0 +1,151 @@
+"""Decomposition of multi-controlled gates.
+
+RevLib benchmarks are multiple-control Toffoli (MCT) networks; real
+backends only execute {1-qubit, CX}.  Three decomposition layers:
+
+* :func:`ccx_decomposition` — the textbook 6-CX Toffoli network.
+* :func:`mcx_decomposition` — Barenco recursion (Lemma 7.3) using one
+  *dirty* borrowed line per level; needs at least one idle qubit.
+* :func:`mcz_parity_network` — ancilla-free subset-parity construction
+  (exponential in controls, used only when no line can be borrowed).
+
+:func:`expand_mcx_gates` rewrites a whole circuit down to
+{1-qubit, CX, CCX}; the basis translator then finishes the job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Set
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import (
+    CXGate,
+    CCXGate,
+    HGate,
+    MCXGate,
+    TdgGate,
+    TGate,
+    U1Gate,
+)
+from ..circuits.instruction import Instruction
+
+__all__ = [
+    "ccx_decomposition",
+    "mcx_decomposition",
+    "mcz_parity_network",
+    "expand_mcx_gates",
+]
+
+
+def ccx_decomposition(c1: int, c2: int, target: int) -> List[Instruction]:
+    """Standard Toffoli network: 6 CX + 9 single-qubit gates."""
+    h, t, tdg, cx = HGate(), TGate(), TdgGate(), CXGate()
+    seq = [
+        (h, (target,)),
+        (cx, (c2, target)),
+        (tdg, (target,)),
+        (cx, (c1, target)),
+        (t, (target,)),
+        (cx, (c2, target)),
+        (tdg, (target,)),
+        (cx, (c1, target)),
+        (t, (c2,)),
+        (t, (target,)),
+        (h, (target,)),
+        (cx, (c1, c2)),
+        (t, (c1,)),
+        (tdg, (c2,)),
+        (cx, (c1, c2)),
+    ]
+    return [Instruction(gate, qubits) for gate, qubits in seq]
+
+
+def mcz_parity_network(qubits: Sequence[int]) -> List[Instruction]:
+    """Ancilla-free multi-controlled Z over *qubits* (symmetric).
+
+    Uses the parity expansion of the AND function:
+    ``x_1 ... x_m = 2^{1-m} * sum_{S != {}} (-1)^{|S|+1} XOR_S(x)``,
+    realising each parity term with a CX ladder and a ``u1`` rotation.
+    Cost grows as ``O(m * 2^m)`` — acceptable for the small m where no
+    line can be borrowed.
+    """
+    qubits = list(qubits)
+    m = len(qubits)
+    if m == 0:
+        raise ValueError("mcz needs at least one qubit")
+    if m == 1:
+        return [Instruction(U1Gate([math.pi]), (qubits[0],))]
+    base_angle = math.pi / (2 ** (m - 1))
+    instructions: List[Instruction] = []
+    cx = CXGate()
+    for subset_bits in range(1, 2 ** m):
+        members = [qubits[i] for i in range(m) if (subset_bits >> i) & 1]
+        sign = 1.0 if len(members) % 2 == 1 else -1.0
+        head, last = members[:-1], members[-1]
+        for q in head:
+            instructions.append(Instruction(cx, (q, last)))
+        instructions.append(
+            Instruction(U1Gate([sign * base_angle]), (last,))
+        )
+        for q in reversed(head):
+            instructions.append(Instruction(cx, (q, last)))
+    return instructions
+
+
+def mcx_decomposition(
+    controls: Sequence[int], target: int, free_qubits: Sequence[int]
+) -> List[Instruction]:
+    """Decompose an MCX into {X, CX, CCX} instructions.
+
+    *free_qubits* are lines not touched by this gate that may be
+    borrowed in arbitrary (dirty) states; with none available the
+    ancilla-free parity network is used instead.
+    """
+    controls = list(controls)
+    k = len(controls)
+    if k == 0:
+        from ..circuits.gates import XGate
+
+        return [Instruction(XGate(), (target,))]
+    if k == 1:
+        return [Instruction(CXGate(), (controls[0], target))]
+    if k == 2:
+        return [Instruction(CCXGate(), (controls[0], controls[1], target))]
+    free = [q for q in free_qubits if q != target and q not in controls]
+    if not free:
+        # H target, MCZ(controls + target), H target
+        instructions = [Instruction(HGate(), (target,))]
+        instructions.extend(mcz_parity_network([*controls, target]))
+        instructions.append(Instruction(HGate(), (target,)))
+        return instructions
+    ancilla = free[0]
+    m = (k + 1) // 2
+    group1, group2 = controls[:m], controls[m:]
+    # Barenco Lemma 7.3 with a dirty ancilla:
+    #   t ^= AND(G2, a); a ^= AND(G1); t ^= AND(G2, a); a ^= AND(G1)
+    big = [*group2, ancilla]
+    free_for_big = [q for q in [*group1, *free[1:]]]
+    free_for_small = [q for q in [*group2, target, *free[1:]]]
+    half_t = mcx_decomposition(big, target, free_for_big)
+    half_a = mcx_decomposition(group1, ancilla, free_for_small)
+    return [*half_t, *half_a, *half_t, *half_a]
+
+
+def expand_mcx_gates(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite every MCX with >2 controls into {X, CX, CCX}.
+
+    Idle circuit qubits are borrowed as dirty ancillas; the result is
+    functionally identical (MCX decompositions restore borrowed lines).
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    all_qubits: Set[int] = set(range(circuit.num_qubits))
+    for inst in circuit:
+        op = inst.operation
+        if isinstance(op, MCXGate) and op.num_controls > 2:
+            controls, target = inst.qubits[:-1], inst.qubits[-1]
+            free = sorted(all_qubits - set(inst.qubits))
+            out.extend(mcx_decomposition(list(controls), target, free))
+        else:
+            out.extend([inst])
+    return out

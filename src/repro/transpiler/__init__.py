@@ -1,0 +1,39 @@
+"""Quantum circuit transpiler: basis translation, layout, routing,
+optimisation — the "untrusted compiler" of the threat model."""
+
+from .basis import BASIS_GATES, translate_instruction, translate_to_basis
+from .commutation import commutation_cancel, commutes
+from .coupling import CouplingMap
+from .euler import u3_angles, zyz_angles
+from .layout import Layout, greedy_layout, trivial_layout
+from .optimization import (
+    cancel_inverse_pairs,
+    fuse_single_qubit_runs,
+    optimize_circuit,
+    remove_identities,
+)
+from .routing import RoutingResult, route_circuit
+from .transpile import TranspileResult, routed_equivalent, transpile
+
+__all__ = [
+    "transpile",
+    "TranspileResult",
+    "routed_equivalent",
+    "CouplingMap",
+    "Layout",
+    "trivial_layout",
+    "greedy_layout",
+    "route_circuit",
+    "RoutingResult",
+    "translate_to_basis",
+    "translate_instruction",
+    "BASIS_GATES",
+    "optimize_circuit",
+    "remove_identities",
+    "cancel_inverse_pairs",
+    "fuse_single_qubit_runs",
+    "zyz_angles",
+    "u3_angles",
+    "commutes",
+    "commutation_cancel",
+]

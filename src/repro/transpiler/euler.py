@@ -1,0 +1,79 @@
+"""Single-qubit Euler-angle decompositions.
+
+Any 2x2 unitary factors as ``U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)``
+(ZYZ form).  This underlies both basis translation (1-qubit gates to
+U3) and the 1-qubit run-fusion optimisation pass, as well as the ABC
+construction for controlled arbitrary unitaries.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["zyz_angles", "u3_angles", "rz_matrix", "ry_matrix"]
+
+_ATOL = 1e-10
+
+
+def rz_matrix(phi: float) -> np.ndarray:
+    return np.array(
+        [[cmath.exp(-1j * phi / 2), 0], [0, cmath.exp(1j * phi / 2)]]
+    )
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]])
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Return ``(alpha, beta, gamma, delta)`` with
+    ``U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta)``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError("ZYZ decomposition requires a 2x2 matrix")
+    det = np.linalg.det(matrix)
+    if abs(det) < _ATOL:
+        raise ValueError("matrix is singular")
+    # project onto SU(2)
+    alpha = cmath.phase(det) / 2.0
+    su2 = matrix * cmath.exp(-1j * alpha)
+
+    # su2 = [[cos(g/2) e^{-i(b+d)/2}, -sin(g/2) e^{-i(b-d)/2}],
+    #        [sin(g/2) e^{ i(b-d)/2},  cos(g/2) e^{ i(b+d)/2}]]
+    cos_half = abs(su2[0, 0])
+    cos_half = min(max(cos_half, 0.0), 1.0)
+    gamma = 2.0 * math.acos(cos_half)
+
+    if abs(su2[0, 0]) > _ATOL and abs(su2[1, 0]) > _ATOL:
+        plus = 2.0 * cmath.phase(su2[1, 1])  # beta + delta
+        minus = 2.0 * cmath.phase(su2[1, 0])  # beta - delta
+        beta = (plus + minus) / 2.0
+        delta = (plus - minus) / 2.0
+    elif abs(su2[1, 0]) <= _ATOL:
+        # gamma ~ 0: only beta + delta matters
+        beta = 2.0 * cmath.phase(su2[1, 1])
+        delta = 0.0
+        gamma = 0.0 if cos_half > 1 - 1e-12 else gamma
+    else:
+        # gamma ~ pi: only beta - delta matters
+        beta = 2.0 * cmath.phase(su2[1, 0])
+        delta = 0.0
+    return alpha, beta, gamma, delta
+
+
+def u3_angles(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Return ``(theta, phi, lam, phase)`` with
+    ``U = e^{i phase} U3(theta, phi, lam)``.
+
+    Uses ``U3(t, p, l) = e^{i (p + l)/2} Rz(p) Ry(t) Rz(l)``.
+    """
+    alpha, beta, gamma, delta = zyz_angles(matrix)
+    theta, phi, lam = gamma, beta, delta
+    phase = alpha - (phi + lam) / 2.0
+    return theta, phi, lam, phase

@@ -1,0 +1,192 @@
+"""The transpilation pipeline.
+
+``transpile`` plays the role of the untrusted third-party compiler in
+the TetrisLock threat model: it sees one circuit (or one split
+segment), lowers it to the backend basis, places and routes it onto the
+device topology, and optimises.  The returned
+:class:`TranspileResult` carries the initial and final layouts, which
+the *trusted user* needs to pin the second segment's placement and to
+read measurement outcomes — exactly the information flow of split
+compilation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.backend import Backend
+from .basis import translate_to_basis
+from .coupling import CouplingMap
+from .layout import Layout, greedy_layout, trivial_layout
+from .optimization import optimize_circuit
+from .routing import route_circuit
+
+__all__ = ["transpile", "TranspileResult", "routed_equivalent"]
+
+
+class TranspileResult:
+    """Compiled physical circuit plus layout bookkeeping."""
+
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Layout,
+        final_layout: Layout,
+        coupling: CouplingMap,
+        source_num_qubits: int,
+        swap_count: int,
+    ) -> None:
+        self.circuit = circuit
+        self.initial_layout = initial_layout
+        self.final_layout = final_layout
+        self.coupling = coupling
+        self.source_num_qubits = source_num_qubits
+        self.swap_count = swap_count
+
+    @property
+    def depth(self) -> int:
+        return self.circuit.depth()
+
+    @property
+    def size(self) -> int:
+        return self.circuit.size()
+
+    def virtual_output_qubit(self, virtual: int) -> int:
+        """Physical wire carrying *virtual* at the end of the circuit."""
+        return self.final_layout.physical(virtual)
+
+    def __repr__(self) -> str:
+        return (
+            f"TranspileResult(size={self.size}, depth={self.depth}, "
+            f"swaps={self.swap_count})"
+        )
+
+
+def _full_layout(
+    partial: Layout, num_virtual: int, num_physical: int
+) -> Layout:
+    """Extend a layout to a bijection over all physical qubits.
+
+    Padded virtual wires (idle qubits added to match the device size)
+    take the remaining physical qubits in ascending order; this keeps
+    every layout invertible, which the verification and stitching
+    logic relies on.
+    """
+    mapping = partial.to_dict()
+    used_physical = set(mapping.values())
+    free_physical = [
+        p for p in range(num_physical) if p not in used_physical
+    ]
+    next_free = iter(free_physical)
+    for v in range(num_virtual):
+        if v not in mapping:
+            mapping[v] = next(next_free)
+    return Layout(mapping)
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    backend: Optional[Backend] = None,
+    coupling: Optional[CouplingMap] = None,
+    initial_layout: Optional[Union[Layout, Sequence[int]]] = None,
+    layout_method: str = "greedy",
+    optimization_level: int = 1,
+) -> TranspileResult:
+    """Compile *circuit* for a device.
+
+    Parameters
+    ----------
+    backend / coupling:
+        Target device; give either a :class:`~repro.noise.backend.Backend`
+        or a bare coupling map.  With neither, an all-to-all topology of
+        the circuit's size is assumed (basis translation only).
+    initial_layout:
+        Pin virtual qubit ``v`` to physical ``initial_layout[v]``.
+        Split compilation passes the previous segment's final layout
+        here so segments concatenate without a stitching permutation.
+    layout_method:
+        ``"greedy"`` (interaction-aware) or ``"trivial"`` — ignored when
+        *initial_layout* is given.
+    optimization_level:
+        0 (none) to 3 (aggressive 1-qubit fusion + cancellation).
+    """
+    if coupling is None:
+        if backend is not None:
+            coupling = CouplingMap(
+                backend.coupling_edges, num_qubits=backend.num_qubits
+            )
+        else:
+            coupling = CouplingMap.full(max(circuit.num_qubits, 1))
+    if circuit.num_qubits > coupling.num_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.num_qubits} qubits, device has "
+            f"{coupling.num_qubits}"
+        )
+
+    lowered = translate_to_basis(circuit)
+
+    # pad with idle virtual wires so layouts are full bijections
+    padded = QuantumCircuit(
+        coupling.num_qubits, lowered.num_clbits, lowered.name
+    )
+    padded.extend(lowered.instructions)
+
+    if initial_layout is None:
+        if layout_method == "greedy":
+            partial = greedy_layout(lowered, coupling)
+        elif layout_method == "trivial":
+            partial = trivial_layout(lowered.num_qubits)
+        else:
+            raise ValueError(f"unknown layout method {layout_method!r}")
+    elif isinstance(initial_layout, Layout):
+        partial = initial_layout
+    else:
+        partial = Layout({v: p for v, p in enumerate(initial_layout)})
+    layout = _full_layout(partial, coupling.num_qubits, coupling.num_qubits)
+
+    routed = route_circuit(padded, coupling, initial_layout=layout)
+
+    physical = translate_to_basis(routed.circuit)  # lower inserted SWAPs
+    physical = optimize_circuit(physical, level=optimization_level)
+
+    return TranspileResult(
+        circuit=physical,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        coupling=coupling,
+        source_num_qubits=circuit.num_qubits,
+        swap_count=routed.swap_count,
+    )
+
+
+def routed_equivalent(
+    logical: QuantumCircuit, result: TranspileResult, atol: float = 1e-6
+) -> bool:
+    """Check a transpile result against its logical source circuit.
+
+    Validates ``U_phys = P_final . (U_logical ⊗ I) . P_initial^{-1}``
+    with the layout permutations of the result.  Exponential in device
+    size — test/diagnostic use only.
+    """
+    import numpy as np
+
+    from ..simulator.unitary import (
+        circuit_unitary,
+        equal_up_to_global_phase,
+        permutation_matrix,
+    )
+
+    num_physical = result.coupling.num_qubits
+    padded = QuantumCircuit(num_physical)
+    padded.extend(logical.remove_final_measurements().instructions)
+    u_logical = circuit_unitary(padded)
+    u_physical = circuit_unitary(result.circuit.remove_final_measurements())
+    p_init = permutation_matrix(
+        result.initial_layout.to_dict(), num_physical
+    )
+    p_final = permutation_matrix(
+        result.final_layout.to_dict(), num_physical
+    )
+    expected = p_final @ u_logical @ p_init.conj().T
+    return equal_up_to_global_phase(u_physical, expected, atol=atol)

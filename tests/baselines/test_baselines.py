@@ -1,0 +1,129 @@
+"""Tests for the Saki split and Das insertion baselines."""
+
+import pytest
+
+from repro.baselines import (
+    das_insertion,
+    saki_split,
+    swap_network_circuit,
+)
+from repro.revlib import benchmark_circuit
+from repro.simulator import circuit_unitary, equal_up_to_global_phase
+from repro.synth import simulate_reversible
+
+
+class TestSwapNetwork:
+    def test_identity_permutation_empty(self):
+        network = swap_network_circuit({0: 0, 1: 1}, 2)
+        assert network.size() == 0
+
+    def test_cycle_realised(self):
+        permutation = {0: 1, 1: 2, 2: 0}
+        network = swap_network_circuit(permutation, 3)
+        table = simulate_reversible(network)
+        # content of wire q moves to permutation[q]: input with bit0=1
+        # comes out with bit1=1
+        assert table(0b001) == 0b010
+        assert table(0b010) == 0b100
+        assert table(0b100) == 0b001
+
+    def test_swap_count_bound(self):
+        permutation = {0: 3, 1: 2, 2: 1, 3: 0}
+        network = swap_network_circuit(permutation, 4)
+        assert network.size() <= 3
+
+
+class TestSakiSplit:
+    def test_straight_cut_partitions(self):
+        circuit = benchmark_circuit("4gt11")
+        split = saki_split(circuit, cut_layer=6)
+        assert (
+            split.segment1.size() + split.segment2.size()
+            == circuit.size()
+        )
+        assert split.qubit_counts == (5, 5)  # always same width
+
+    def test_recombination_restores_function(self):
+        circuit = benchmark_circuit("4mod5")
+        split = saki_split(circuit, seed=0)
+        assert simulate_reversible(
+            split.recombined()
+        ) == simulate_reversible(circuit)
+
+    def test_recombination_with_swap_network(self):
+        circuit = benchmark_circuit("4gt13")
+        split = saki_split(circuit, seed=1, swap_network=True)
+        assert split.permutation is not None
+        assert simulate_reversible(
+            split.recombined()
+        ) == simulate_reversible(circuit)
+
+    def test_cut_layer_validated(self):
+        circuit = benchmark_circuit("4gt13")
+        with pytest.raises(ValueError):
+            saki_split(circuit, cut_layer=0)
+        with pytest.raises(ValueError):
+            saki_split(circuit, cut_layer=99)
+
+    def test_shallow_circuit_rejected(self):
+        from repro.circuits import QuantumCircuit
+
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        with pytest.raises(ValueError):
+            saki_split(qc)
+
+    def test_layer_ordering_respected(self):
+        """Every segment-1 gate is at a layer before the cut."""
+        from repro.circuits.dag import layer_assignment
+
+        circuit = benchmark_circuit("rd53")
+        split = saki_split(circuit, cut_layer=8)
+        layers = layer_assignment(circuit)
+        seg1_size = split.segment1.size()
+        assert all(layer < 8 for layer in layers[:0] or [0])
+        assert seg1_size == sum(1 for layer in layers if layer < 8)
+
+
+class TestDasInsertion:
+    @pytest.mark.parametrize("position", ["front", "middle", "end"])
+    def test_restoration(self, position):
+        circuit = benchmark_circuit("4gt13")
+        result = das_insertion(circuit, 4, position, seed=2)
+        assert simulate_reversible(
+            result.restored()
+        ) == simulate_reversible(circuit)
+
+    def test_obfuscated_is_corrupted(self):
+        circuit = benchmark_circuit("4gt13")
+        result = das_insertion(circuit, 6, "front", seed=3)
+        assert simulate_reversible(
+            result.obfuscated
+        ) != simulate_reversible(circuit)
+
+    def test_depth_overhead_positive(self):
+        """The baseline's key weakness: the block extends the circuit."""
+        circuit = benchmark_circuit("4gt13")
+        result = das_insertion(circuit, 6, "front", seed=4)
+        assert result.depth_overhead > 0
+        assert result.gate_overhead == 6
+
+    def test_restore_key_is_inverse(self):
+        circuit = benchmark_circuit("4gt13")
+        result = das_insertion(circuit, 4, "front", seed=5)
+        combined = result.random_block.compose(result.restore_key())
+        import numpy as np
+
+        assert equal_up_to_global_phase(
+            circuit_unitary(combined),
+            np.eye(2 ** circuit.num_qubits),
+        )
+
+    def test_invalid_position_rejected(self):
+        with pytest.raises(ValueError):
+            das_insertion(benchmark_circuit("4gt13"), 4, "sideways")
+
+    def test_block_on_full_register(self):
+        circuit = benchmark_circuit("4mod5")
+        result = das_insertion(circuit, 4, "middle", seed=6)
+        assert result.random_block.num_qubits == circuit.num_qubits

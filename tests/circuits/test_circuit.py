@@ -1,0 +1,212 @@
+"""Unit tests for QuantumCircuit."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.gates import Barrier, CXGate, HGate, XGate
+from repro.circuits.instruction import Instruction
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(3)
+        assert qc.num_qubits == 3
+        assert len(qc) == 0
+        assert qc.depth() == 0
+        assert qc.size() == 0
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(-1)
+
+    def test_builders_chain(self):
+        qc = QuantumCircuit(3)
+        result = qc.h(0).cx(0, 1).ccx(0, 1, 2)
+        assert result is qc
+        assert len(qc) == 3
+
+    def test_all_single_qubit_builders(self):
+        qc = QuantumCircuit(1)
+        qc.i(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0)
+        qc.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0)
+        qc.u1(0.5, 0).u2(0.6, 0.7, 0).u3(0.8, 0.9, 1.0, 0)
+        assert qc.size() == 17
+
+    def test_all_multi_qubit_builders(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).cy(1, 2).cz(0, 2).ch(0, 1).swap(1, 2)
+        qc.crz(0.5, 0, 1).cp(0.25, 1, 2).ccx(0, 1, 2).cswap(0, 1, 2)
+        qc.mcx([0, 1], 2)
+        assert qc.size() == 10
+
+    def test_out_of_range_qubit_rejected(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(IndexError):
+            qc.x(2)
+        with pytest.raises(IndexError):
+            qc.cx(0, 5)
+
+    def test_unitary_builder(self):
+        qc = QuantumCircuit(1)
+        qc.unitary(HGate().matrix, [0], label="uh")
+        assert qc[0].name == "uh"
+
+    def test_insert_at_position(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0)
+        qc.insert(1, HGate(), [0])
+        assert [inst.name for inst in qc] == ["x", "h", "x"]
+
+
+class TestDepth:
+    def test_sequential_gates_on_one_qubit(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0).x(0)
+        assert qc.depth() == 3
+
+    def test_parallel_gates(self):
+        qc = QuantumCircuit(3)
+        qc.x(0).x(1).x(2)
+        assert qc.depth() == 1
+
+    def test_two_qubit_gate_synchronises(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).cx(0, 1).x(1)
+        assert qc.depth() == 3
+
+    def test_barrier_not_counted_but_synchronises(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.barrier()
+        qc.x(1)
+        # without a barrier x(1) would sit at layer 0; with it, layer 1
+        assert qc.depth() == 2
+
+    def test_measure_excluded_by_default(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0).measure(0, 0)
+        assert qc.depth() == 1
+        assert qc.depth(include_measures=True) == 2
+
+    def test_benchmark_depths_match_table1(self):
+        from repro.revlib import paper_suite
+
+        for record in paper_suite():
+            assert record.circuit().depth() == record.depth
+
+
+class TestInspection:
+    def test_count_ops(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).x(1).cx(0, 1)
+        counts = qc.count_ops()
+        assert counts["x"] == 2
+        assert counts["cx"] == 1
+
+    def test_active_qubits(self):
+        qc = QuantumCircuit(5)
+        qc.x(1).cx(1, 3)
+        assert qc.active_qubits() == {1, 3}
+
+    def test_two_qubit_gate_count(self):
+        qc = QuantumCircuit(3)
+        qc.x(0).cx(0, 1).ccx(0, 1, 2)
+        assert qc.two_qubit_gate_count() == 2
+
+    def test_has_measurements(self):
+        qc = QuantumCircuit(1, 1)
+        assert not qc.has_measurements()
+        qc.measure(0, 0)
+        assert qc.has_measurements()
+
+    def test_gates_excludes_barriers_and_measures(self):
+        qc = QuantumCircuit(2, 2)
+        qc.x(0)
+        qc.barrier()
+        qc.measure(0, 0)
+        assert len(qc.gates()) == 1
+        assert qc.size() == 1
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        other = qc.copy()
+        other.x(0)
+        assert len(qc) == 1
+        assert len(other) == 2
+
+    def test_compose_identity_mapping(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b)
+        assert [inst.name for inst in combined] == ["h", "cx"]
+
+    def test_compose_with_qubit_map(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        combined = a.compose(b, qubits=[2, 0])
+        assert combined[0].qubits == (2, 0)
+
+    def test_compose_rejects_bad_map(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            a.compose(b, qubits=[0])
+
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).s(0).cx(0, 1)
+        inv = qc.inverse()
+        assert [inst.name for inst in inv] == ["cx", "sdg", "h"]
+
+    def test_inverse_rejects_measured(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0).measure(0, 0)
+        with pytest.raises(ValueError):
+            qc.inverse()
+
+    def test_remove_final_measurements(self):
+        qc = QuantumCircuit(1, 1)
+        qc.x(0).measure(0, 0)
+        bare = qc.remove_final_measurements()
+        assert not bare.has_measurements()
+        assert bare.size() == 1
+
+    def test_remap_qubits(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        remapped = qc.remap_qubits({0: 3, 1: 1})
+        assert remapped.num_qubits == 4
+        assert remapped[0].qubits == (3, 1)
+
+    def test_repeat(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert qc.repeat(3).size() == 3
+        assert qc.repeat(0).size() == 0
+
+    def test_measure_all_grows_clbits(self):
+        qc = QuantumCircuit(3)
+        qc.measure_all()
+        assert qc.num_clbits == 3
+        assert sum(1 for i in qc if i.is_measure) == 3
+
+    def test_from_instructions(self):
+        insts = [Instruction(XGate(), (0,)), Instruction(CXGate(), (0, 1))]
+        qc = QuantumCircuit.from_instructions(insts, num_qubits=2)
+        assert len(qc) == 2
+
+    def test_equality(self):
+        a = QuantumCircuit(1)
+        a.x(0)
+        b = QuantumCircuit(1)
+        b.x(0)
+        assert a == b
+        b.x(0)
+        assert a != b

@@ -1,0 +1,158 @@
+"""Tests for DAG/layer views and the occupancy grid."""
+
+import pytest
+
+from repro.circuits import (
+    CircuitDag,
+    OccupancyGrid,
+    QuantumCircuit,
+    circuit_layers,
+    empty_positions_by_layer,
+    layer_assignment,
+)
+
+
+def staircase_circuit():
+    """x on q2 first, then cx(1,2), then ccx(0,1,2) — a left staircase."""
+    qc = QuantumCircuit(3)
+    qc.x(2).cx(1, 2).ccx(0, 1, 2)
+    return qc
+
+
+class TestLayers:
+    def test_layer_assignment_sequential(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0)
+        assert layer_assignment(qc) == [0, 1]
+
+    def test_layer_assignment_parallel(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).x(1)
+        assert layer_assignment(qc) == [0, 0]
+
+    def test_circuit_layers_structure(self):
+        layers = circuit_layers(staircase_circuit())
+        assert len(layers) == 3
+        assert [len(layer) for layer in layers] == [1, 1, 1]
+
+    def test_barriers_omitted_from_layers(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.barrier()
+        qc.x(1)
+        layers = circuit_layers(qc)
+        assert sum(len(layer) for layer in layers) == 2
+
+    def test_empty_positions(self):
+        empties = empty_positions_by_layer(staircase_circuit())
+        assert empties[0] == [0, 1]
+        assert empties[1] == [0]
+        assert empties[2] == []
+
+
+class TestCircuitDag:
+    def test_edges_follow_shared_qubits(self):
+        dag = CircuitDag(staircase_circuit())
+        assert dag.successors(0) == [1]
+        assert dag.successors(1) == [2]
+        assert dag.predecessors(2) == [1]
+
+    def test_ancestors_descendants(self):
+        dag = CircuitDag(staircase_circuit())
+        assert dag.ancestors(2) == {0, 1}
+        assert dag.descendants(0) == {1, 2}
+
+    def test_downward_closure(self):
+        dag = CircuitDag(staircase_circuit())
+        assert dag.downward_closure([2]) == {0, 1, 2}
+        assert dag.downward_closure([0]) == {0}
+
+    def test_is_dependency_closed(self):
+        dag = CircuitDag(staircase_circuit())
+        assert dag.is_dependency_closed({0})
+        assert dag.is_dependency_closed({0, 1})
+        assert not dag.is_dependency_closed({1})
+
+    def test_split_indices_order(self):
+        dag = CircuitDag(staircase_circuit())
+        left, right = dag.split_indices({0, 1})
+        assert left == [0, 1]
+        assert right == [2]
+
+    def test_split_rejects_open_set(self):
+        dag = CircuitDag(staircase_circuit())
+        with pytest.raises(ValueError):
+            dag.split_indices({2})
+
+    def test_topological_order_valid(self):
+        qc = QuantumCircuit(3)
+        qc.x(0).x(1).cx(0, 1).cx(1, 2)
+        dag = CircuitDag(qc)
+        order = dag.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for a, b in dag.graph.edges():
+            assert position[a] < position[b]
+
+    def test_parallel_gates_independent(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1).cx(2, 3)
+        dag = CircuitDag(qc)
+        assert dag.ancestors(1) == set()
+        assert dag.is_dependency_closed({1})
+
+
+class TestOccupancyGrid:
+    def test_dimensions(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.num_layers == 3
+        assert grid.num_qubits == 3
+
+    def test_is_free(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.is_free(0, 0)
+        assert grid.is_free(0, 1)
+        assert not grid.is_free(0, 2)
+        assert not grid.is_free(2, 0)
+        assert not grid.is_free(99, 0)  # out of range -> not free
+
+    def test_free_counts(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.total_free_slots() == 3
+        assert grid.free_qubits(0) == [0, 1]
+        assert grid.free_layers(0) == [0, 1]
+
+    def test_occupancy_ratio(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.occupancy_ratio() == pytest.approx(6 / 9)
+
+    def test_staircase(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.staircase() == {0: 2, 1: 1, 2: 0}
+
+    def test_mark_occupies(self):
+        grid = OccupancyGrid(staircase_circuit())
+        grid.mark(0, [0])
+        assert not grid.is_free(0, 0)
+        with pytest.raises(ValueError):
+            grid.mark(0, [0])
+
+    def test_mark_out_of_range(self):
+        grid = OccupancyGrid(staircase_circuit())
+        with pytest.raises(IndexError):
+            grid.mark(5, [0])
+
+    def test_find_pair_slot_prefix(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.find_pair_slot([0], prefix_only=True) == (0, 1)
+        assert grid.find_pair_slot([2], prefix_only=True) is None
+
+    def test_find_single_slot(self):
+        grid = OccupancyGrid(staircase_circuit())
+        assert grid.find_single_slot([0]) == 0
+        assert grid.find_single_slot([2]) is None
+
+    def test_empty_circuit_grid(self):
+        grid = OccupancyGrid(QuantumCircuit(2))
+        assert grid.num_layers == 0
+        assert grid.total_free_slots() == 0
+        assert grid.occupancy_ratio() == 0.0

@@ -1,0 +1,52 @@
+"""Tests for the Instruction value object."""
+
+import pytest
+
+from repro.circuits.gates import CXGate, Measure, XGate
+from repro.circuits.instruction import Instruction
+
+
+class TestValidation:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(CXGate(), (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(CXGate(), (1, 1))
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(XGate(), (-1,))
+
+    def test_measure_requires_clbit(self):
+        with pytest.raises(ValueError):
+            Instruction(Measure(), (0,))
+        inst = Instruction(Measure(), (0,), (0,))
+        assert inst.is_measure
+
+
+class TestBehaviour:
+    def test_immutable(self):
+        inst = Instruction(XGate(), (0,))
+        with pytest.raises(AttributeError):
+            inst.qubits = (1,)
+
+    def test_flags(self):
+        gate = Instruction(XGate(), (0,))
+        assert gate.is_gate and not gate.is_measure and not gate.is_barrier
+
+    def test_remap_with_dict(self):
+        inst = Instruction(CXGate(), (0, 1))
+        assert inst.remap({0: 5, 1: 2}).qubits == (5, 2)
+
+    def test_remap_with_callable(self):
+        inst = Instruction(CXGate(), (0, 1))
+        assert inst.remap(lambda q: q + 10).qubits == (10, 11)
+
+    def test_equality_and_hash(self):
+        a = Instruction(XGate(), (0,))
+        b = Instruction(XGate(), (0,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Instruction(XGate(), (1,))

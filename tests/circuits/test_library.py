@@ -1,0 +1,92 @@
+"""Tests for the algorithm-circuit library."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    grover_circuit,
+    qft_circuit,
+)
+from repro.simulator import Statevector, circuit_unitary
+
+
+class TestGrover:
+    def test_amplifies_marked_state(self):
+        circuit = grover_circuit(3, marked=0b101, iterations=2)
+        probs = Statevector(3).evolve(circuit).probabilities()
+        assert probs[0b101] > 0.85
+        assert probs[0b101] == max(probs)
+
+    def test_single_qubit_case(self):
+        """n=1 Grover caps at 50% — sin^2(3*45 deg) — by theory."""
+        circuit = grover_circuit(1, marked=1)
+        probs = Statevector(1).evolve(circuit).probabilities()
+        assert probs[1] == pytest.approx(0.5, abs=1e-9)
+
+    def test_default_iteration_count(self):
+        circuit = grover_circuit(2, marked=3)
+        probs = Statevector(2).evolve(circuit).probabilities()
+        assert probs[3] > 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            grover_circuit(0)
+        with pytest.raises(ValueError):
+            grover_circuit(2, marked=4)
+
+    def test_hadamard_rich(self):
+        """The tailoring rationale: Grover circuits are full of H."""
+        circuit = grover_circuit(3, marked=1)
+        assert circuit.count_ops()["h"] >= 6
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["101", "0", "1111", "010"])
+    def test_recovers_secret(self, secret):
+        circuit = bernstein_vazirani_circuit(secret)
+        state = Statevector(circuit.num_qubits).evolve(circuit)
+        counts = state.sample_counts(
+            50, rng=np.random.default_rng(0),
+            qubits=list(range(len(secret))),
+        )
+        assert counts == {secret: 50}
+
+    def test_invalid_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("")
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("10a")
+
+
+class TestGhzAndQft:
+    def test_ghz_distribution(self):
+        state = Statevector(4).evolve(ghz_circuit(4))
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_ghz_needs_two_qubits(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+
+    def test_qft_matrix(self):
+        """QFT matrix entries are the DFT phases (up to bit order)."""
+        n = 2
+        unitary = circuit_unitary(qft_circuit(n))
+        dim = 2 ** n
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array(
+            [[omega ** (r * c) for c in range(dim)] for r in range(dim)]
+        ) / np.sqrt(dim)
+        # our QFT omits the final bit-reversal swaps
+        reversal = np.zeros((dim, dim))
+        for k in range(dim):
+            rev = int(format(k, f"0{n}b")[::-1], 2)
+            reversal[rev, k] = 1.0
+        assert np.allclose(reversal @ unitary, dft, atol=1e-9)
+
+    def test_qft_validates(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)

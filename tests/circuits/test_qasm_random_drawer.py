@@ -1,0 +1,165 @@
+"""Tests for QASM I/O, random circuit generation and the drawer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    QasmError,
+    QuantumCircuit,
+    draw_circuit,
+    from_qasm,
+    random_circuit,
+    random_reversible_circuit,
+    to_qasm,
+)
+from repro.simulator import circuit_unitary, equal_up_to_global_phase
+
+
+class TestQasmWriter:
+    def test_header(self):
+        qasm = to_qasm(QuantumCircuit(3, 2))
+        assert "OPENQASM 2.0;" in qasm
+        assert "qreg q[3];" in qasm
+        assert "creg c[2];" in qasm
+
+    def test_gate_lines(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).rz(math.pi / 2, 1)
+        qasm = to_qasm(qc)
+        assert "h q[0];" in qasm
+        assert "cx q[0],q[1];" in qasm
+        assert "rz(pi/2) q[1];" in qasm
+
+    def test_measure_line(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        assert "measure q[0] -> c[0];" in to_qasm(qc)
+
+    def test_barrier_line(self):
+        qc = QuantumCircuit(2)
+        qc.barrier()
+        assert "barrier q[0],q[1];" in to_qasm(qc)
+
+    def test_mcx_rejected(self):
+        qc = QuantumCircuit(5)
+        qc.mcx([0, 1, 2, 3], 4)
+        with pytest.raises(QasmError):
+            to_qasm(qc)
+
+
+class TestQasmReader:
+    def test_roundtrip_preserves_semantics(self):
+        qc = random_circuit(
+            3, 15,
+            gate_pool=["h", "x", "z", "s", "t", "cx", "cz", "swap",
+                       "rx", "ry", "rz", "ccx"],
+            seed=5,
+        )
+        restored = from_qasm(to_qasm(qc))
+        assert equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(restored)
+        )
+
+    def test_roundtrip_structural_equality(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+        assert from_qasm(to_qasm(qc)) == qc
+
+    def test_comments_ignored(self):
+        program = """
+        OPENQASM 2.0; // header comment
+        include "qelib1.inc";
+        qreg q[1];
+        x q[0]; // flip
+        """
+        qc = from_qasm(program)
+        assert qc.size() == 1
+
+    def test_pi_expressions(self):
+        qc = from_qasm(
+            'OPENQASM 2.0; qreg q[1]; rz(pi/4) q[0]; rz(-pi) q[0]; '
+            "rz(2*pi/3) q[0];"
+        )
+        angles = [inst.operation.params[0] for inst in qc]
+        assert angles == pytest.approx(
+            [math.pi / 4, -math.pi, 2 * math.pi / 3]
+        )
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; x q[0];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0; qreg q[1]; frob q[0];")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm(
+                "OPENQASM 2.0; qreg q[1]; rz(__import__) q[0];"
+            )
+
+
+class TestRandomCircuits:
+    def test_gate_count(self):
+        qc = random_circuit(4, 25, seed=0)
+        assert qc.size() == 25
+
+    def test_seed_reproducibility(self):
+        a = random_circuit(4, 20, seed=42)
+        b = random_circuit(4, 20, seed=42)
+        assert a == b
+
+    def test_pool_respected(self):
+        qc = random_circuit(3, 30, gate_pool=["x", "cx"], seed=1)
+        assert set(qc.count_ops()) <= {"x", "cx"}
+
+    def test_arity_exceeding_width_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 5, gate_pool=["cx"], seed=0)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit(0, 5)
+
+    def test_reversible_pool(self):
+        qc = random_reversible_circuit(4, 30, seed=3)
+        assert set(qc.count_ops()) <= {"x", "cx", "ccx"}
+
+    def test_reversible_single_qubit(self):
+        qc = random_reversible_circuit(1, 5, seed=3)
+        assert set(qc.count_ops()) == {"x"}
+
+    def test_parameterised_pool(self):
+        qc = random_circuit(2, 10, gate_pool=["u3", "cp"], seed=9)
+        for inst in qc:
+            assert len(inst.operation.params) in (1, 3)
+
+
+class TestDrawer:
+    def test_wire_per_qubit(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 2)
+        art = draw_circuit(qc)
+        assert len(art.splitlines()) == 3
+        assert "H" in art
+
+    def test_cx_symbols(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        art = draw_circuit(qc)
+        lines = art.splitlines()
+        assert "*" in lines[0]
+        assert "X" in lines[1]
+
+    def test_vertical_connector(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        art = draw_circuit(qc)
+        assert "|" in art.splitlines()[1]
+
+    def test_empty_circuit(self):
+        art = draw_circuit(QuantumCircuit(2))
+        assert len(art.splitlines()) == 2

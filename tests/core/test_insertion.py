@@ -1,0 +1,151 @@
+"""Tests for Algorithm 1: random pair insertion into empty slots."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.core.insertion import (
+    ROLE_ORIGINAL,
+    ROLE_R,
+    ROLE_RDG,
+    insert_random_pairs,
+)
+from repro.revlib import benchmark_circuit, benchmark_names, paper_suite
+from repro.synth import simulate_reversible
+
+
+def spacious_circuit():
+    """A circuit with a large idle staircase for insertion tests."""
+    qc = QuantumCircuit(5)
+    qc.x(4).cx(3, 4).ccx(2, 3, 4).cx(1, 2).cx(0, 1)
+    return qc
+
+
+class TestStructuralGuarantees:
+    @pytest.mark.parametrize("name", benchmark_names(table1_only=True))
+    def test_depth_never_increases(self, name):
+        circuit = benchmark_circuit(name)
+        for seed in range(5):
+            result = insert_random_pairs(circuit, gate_limit=4, seed=seed)
+            assert result.obfuscated.depth() == circuit.depth()
+            assert result.rc_circuit().depth() <= circuit.depth()
+
+    @pytest.mark.parametrize("name", benchmark_names(table1_only=True))
+    def test_function_exactly_preserved(self, name):
+        """R† R C == C on the full truth table, not just |0...0>."""
+        circuit = benchmark_circuit(name)
+        reference = simulate_reversible(circuit)
+        result = insert_random_pairs(circuit, gate_limit=4, seed=1)
+        assert simulate_reversible(result.obfuscated) == reference
+
+    def test_rc_circuit_is_corrupted(self):
+        """Dropping R† must change the function (given >= 1 pair)."""
+        circuit = spacious_circuit()
+        result = insert_random_pairs(circuit, gate_limit=4, seed=0)
+        assert result.num_pairs >= 1
+        rc = result.rc_circuit()
+        assert simulate_reversible(rc) != simulate_reversible(circuit)
+
+    def test_gate_accounting(self):
+        circuit = spacious_circuit()
+        result = insert_random_pairs(circuit, gate_limit=3, seed=2)
+        added = result.obfuscated.size() - circuit.size()
+        assert added == 2 * result.num_pairs
+        assert result.num_pairs <= 3
+        rc_added = result.rc_circuit().size() - circuit.size()
+        assert rc_added == result.num_inserted_gates
+
+
+class TestRoles:
+    def test_roles_parallel_to_instructions(self):
+        result = insert_random_pairs(spacious_circuit(), seed=3)
+        assert len(result.roles) == len(result.obfuscated)
+        originals = [
+            r for r in result.roles if r == ROLE_ORIGINAL
+        ]
+        assert len(originals) == spacious_circuit().size()
+
+    def test_pair_indices_consistent(self):
+        result = insert_random_pairs(spacious_circuit(), seed=4)
+        for pair in result.pairs:
+            rdg = result.obfuscated[pair.rdg_index]
+            r = result.obfuscated[pair.r_index]
+            assert rdg.qubits == pair.qubits == r.qubits
+            assert rdg.operation.name == pair.gate_name
+            assert pair.rdg_index < pair.r_index
+            assert result.roles[pair.rdg_index] == ROLE_RDG
+            assert result.roles[pair.r_index] == ROLE_R
+
+    def test_pairs_share_one_window(self):
+        result = insert_random_pairs(spacious_circuit(), gate_limit=4, seed=5)
+        if result.num_pairs >= 2:
+            rdg_layers = {p.rdg_layer for p in result.pairs}
+            assert len(rdg_layers) == 1
+
+    def test_r_instruction_views(self):
+        result = insert_random_pairs(spacious_circuit(), gate_limit=2, seed=6)
+        assert len(result.r_instructions()) == result.num_pairs
+        assert len(result.rdg_instructions()) == result.num_pairs
+
+
+class TestOptions:
+    def test_gate_limit_zero(self):
+        result = insert_random_pairs(spacious_circuit(), gate_limit=0, seed=0)
+        assert result.num_pairs == 0
+        assert result.obfuscated.size() == spacious_circuit().size()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            insert_random_pairs(spacious_circuit(), gate_limit=-1)
+
+    def test_h_pool_for_grover_style(self):
+        result = insert_random_pairs(
+            spacious_circuit(), gate_limit=2, gate_pool=("h",), seed=0
+        )
+        for inst in result.r_instructions():
+            assert inst.operation.name == "h"
+
+    def test_unknown_pool_gate_rejected(self):
+        with pytest.raises(ValueError):
+            insert_random_pairs(spacious_circuit(), gate_pool=("t",))
+
+    def test_explicit_window(self):
+        circuit = spacious_circuit()
+        result = insert_random_pairs(
+            circuit, gate_limit=1, seed=0, window=0
+        )
+        if result.num_pairs:
+            assert result.pairs[0].rdg_layer == 0
+
+    def test_window_out_of_range(self):
+        with pytest.raises(ValueError):
+            insert_random_pairs(
+                spacious_circuit(), gate_limit=1, seed=0, window=99
+            )
+
+    def test_seed_reproducibility(self):
+        a = insert_random_pairs(spacious_circuit(), seed=11)
+        b = insert_random_pairs(spacious_circuit(), seed=11)
+        assert a.obfuscated == b.obfuscated
+
+    def test_dense_circuit_inserts_nothing(self):
+        """No empty slots -> no pairs, no crash."""
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0)
+        result = insert_random_pairs(qc, gate_limit=4, seed=0)
+        assert result.num_pairs == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_insertion_invariants_random_seeds(seed):
+    """Property: depth preserved and function intact for any seed."""
+    circuit = benchmark_circuit("rd53")
+    result = insert_random_pairs(circuit, gate_limit=4, seed=seed)
+    assert result.obfuscated.depth() == circuit.depth()
+    assert simulate_reversible(result.obfuscated) == simulate_reversible(
+        circuit
+    )
+    assert result.num_pairs <= 4

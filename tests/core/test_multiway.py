@@ -1,0 +1,78 @@
+"""Tests for k-way interlocking splits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import insert_random_pairs, multiway_split
+from repro.revlib import benchmark_circuit
+from repro.synth import simulate_reversible
+
+
+class TestMultiwaySplit:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_recombination_restores_function(self, k):
+        circuit = benchmark_circuit("rd53")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=1)
+        result = multiway_split(insertion, k, seed=2)
+        assert 2 <= result.num_segments <= k
+        assert simulate_reversible(
+            result.recombined()
+        ) == simulate_reversible(circuit)
+
+    def test_segments_partition_indices(self):
+        circuit = benchmark_circuit("4gt11")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=3)
+        result = multiway_split(insertion, 3, seed=4)
+        all_indices = sorted(
+            i
+            for segment in result.segments
+            for i in segment.instruction_indices
+        )
+        assert all_indices == list(range(len(insertion.obfuscated)))
+
+    def test_two_way_matches_standard_split(self):
+        circuit = benchmark_circuit("4mod5")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=5)
+        result = multiway_split(insertion, 2, seed=6)
+        assert result.num_segments == 2
+
+    def test_more_segments_reduce_max_exposure(self):
+        """The point of k-way splitting: each compiler sees less."""
+        circuit = benchmark_circuit("rd73")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=7)
+        two = multiway_split(insertion, 2, seed=8)
+        four = multiway_split(insertion, 4, seed=8)
+        if four.num_segments > two.num_segments:
+            assert four.max_exposure() <= two.max_exposure() + 1e-9
+
+    def test_pairs_still_straddle_first_boundary(self):
+        circuit = benchmark_circuit("rd53")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=9)
+        assert insertion.num_pairs >= 1
+        result = multiway_split(insertion, 3, seed=10)
+        first = set(result.segments[0].instruction_indices)
+        rest = set(
+            i
+            for segment in result.segments[1:]
+            for i in segment.instruction_indices
+        )
+        for pair in insertion.pairs:
+            assert pair.rdg_index in first
+            assert pair.r_index in rest
+
+    def test_k_below_two_rejected(self):
+        circuit = benchmark_circuit("4gt13")
+        insertion = insert_random_pairs(circuit, gate_limit=2, seed=11)
+        with pytest.raises(ValueError):
+            multiway_split(insertion, 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(2, 5))
+    def test_any_seed_preserves_function(self, seed, k):
+        circuit = benchmark_circuit("mini_alu")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=seed)
+        result = multiway_split(insertion, k, seed=seed)
+        assert simulate_reversible(
+            result.recombined()
+        ) == simulate_reversible(circuit)

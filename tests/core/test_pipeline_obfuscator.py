@@ -1,0 +1,96 @@
+"""Tests for the obfuscator wrapper and the evaluation pipeline."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.core import TetrisLockObfuscator, TetrisLockPipeline
+from repro.noise import valencia_like_backend
+from repro.revlib import benchmark_circuit, load_benchmark
+
+
+class TestObfuscator:
+    def test_report_fields(self):
+        circuit = benchmark_circuit("rd53")
+        report = TetrisLockObfuscator(seed=1).obfuscate_with_report(circuit)
+        assert report.depth_preserved
+        assert report.inserted_gates == report.insertion.num_pairs
+        assert report.overhead_rc.gate_increase == report.inserted_gates
+        assert (
+            report.overhead_full.gate_increase == 2 * report.inserted_gates
+        )
+
+    def test_measured_circuit_rejected(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).measure(0, 0)
+        with pytest.raises(ValueError):
+            TetrisLockObfuscator(seed=0).obfuscate(qc)
+
+    def test_gate_pool_forwarded(self):
+        circuit = benchmark_circuit("rd53")
+        obfuscator = TetrisLockObfuscator(
+            gate_limit=2, gate_pool=("h",), seed=2
+        )
+        insertion = obfuscator.obfuscate(circuit)
+        for inst in insertion.r_instructions():
+            assert inst.operation.name == "h"
+
+    def test_seed_reproducibility(self):
+        circuit = benchmark_circuit("4mod5")
+        a = TetrisLockObfuscator(seed=9).obfuscate(circuit)
+        b = TetrisLockObfuscator(seed=9).obfuscate(circuit)
+        assert a.obfuscated == b.obfuscated
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        record = load_benchmark("4gt13")
+        pipeline = TetrisLockPipeline(shots=400, seed=13)
+        return pipeline.evaluate(
+            record.circuit(),
+            name=record.name,
+            output_qubits=record.output_qubits,
+        )
+
+    def test_structural_columns(self, result):
+        assert result.depth_original == 4
+        assert result.depth_obfuscated <= 4
+        assert result.gates_original == 4
+        assert (
+            result.gates_obfuscated
+            == result.gates_original + result.inserted_gates
+        )
+        assert result.depth_preserved
+
+    def test_accuracy_relations(self, result):
+        assert 0.0 <= result.accuracy_original <= 1.0
+        assert 0.0 <= result.accuracy_restored <= 1.0
+        # restored accuracy within a few points of the original
+        assert result.accuracy_change < 0.15
+
+    def test_tvd_relations(self, result):
+        # obfuscation corrupts strongly, restoration recovers
+        assert result.tvd_obfuscated > 0.3
+        assert result.tvd_restored == pytest.approx(
+            1.0 - result.accuracy_restored
+        )
+        assert result.tvd_restored < result.tvd_obfuscated
+
+    def test_expected_bitstring_reduced_to_outputs(self, result):
+        assert len(result.expected_bitstring) == 1
+
+    def test_split_qubits_recorded(self, result):
+        a, b = result.split_qubits
+        assert 1 <= a <= 4
+        assert 1 <= b <= 4
+
+    def test_gate_change_pct(self, result):
+        expected = 100.0 * result.inserted_gates / 4
+        assert result.gate_change_pct == pytest.approx(expected)
+
+    def test_explicit_backend(self):
+        record = load_benchmark("4gt13")
+        backend = valencia_like_backend(4)
+        pipeline = TetrisLockPipeline(backend=backend, shots=100, seed=3)
+        result = pipeline.evaluate(record.circuit())
+        assert result.counts_original.shots == 100

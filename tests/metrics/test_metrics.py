@@ -1,0 +1,110 @@
+"""Tests for TVD (Eq. 2), accuracy, fidelity and overhead metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.metrics import (
+    OverheadReport,
+    accuracy,
+    compare_circuits,
+    hellinger_distance,
+    hellinger_fidelity,
+    reference_distribution,
+    tvd,
+    tvd_counts,
+    tvd_to_reference,
+)
+
+
+class TestTvd:
+    def test_identical_distributions(self):
+        assert tvd({"0": 0.5, "1": 0.5}, {"0": 0.5, "1": 0.5}) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert tvd({"0": 1.0}, {"1": 1.0}) == pytest.approx(1.0)
+
+    def test_counts_form_matches_eq2(self):
+        """Eq. 2: sum |y_orig - y_alter| / (2 N)."""
+        a = {"00": 95, "01": 5}
+        b = {"00": 80, "01": 15, "11": 5}
+        expected = (abs(95 - 80) + abs(5 - 15) + abs(0 - 5)) / (2 * 100)
+        assert tvd_counts(a, b) == pytest.approx(expected)
+
+    def test_counts_with_explicit_shots(self):
+        assert tvd_counts({"0": 50}, {"1": 50}, shots=50) == pytest.approx(1.0)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            tvd_counts({}, {"0": 1})
+
+    def test_reference_distribution(self):
+        assert reference_distribution("010") == {"010": 1.0}
+
+    def test_tvd_to_reference_equals_one_minus_accuracy(self):
+        counts = {"00": 80, "01": 15, "11": 5}
+        assert tvd_to_reference(counts, "00") == pytest.approx(0.2)
+        assert tvd_to_reference(counts, "10") == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.integers(0, 100), b=st.integers(0, 100), c=st.integers(0, 100)
+    )
+    def test_tvd_is_a_metric(self, a, b, c):
+        """Property: symmetry, identity and triangle inequality."""
+        total = a + b + c
+        if total == 0:
+            return
+        p = {"00": a / total, "01": b / total, "10": c / total}
+        q = {"00": c / total, "01": a / total, "10": b / total}
+        r = {"00": b / total, "01": c / total, "10": a / total}
+        assert tvd(p, p) == pytest.approx(0.0)
+        assert tvd(p, q) == pytest.approx(tvd(q, p))
+        assert tvd(p, r) <= tvd(p, q) + tvd(q, r) + 1e-12
+        assert 0.0 <= tvd(p, q) <= 1.0 + 1e-12
+
+
+class TestAccuracyAndFidelity:
+    def test_accuracy(self):
+        assert accuracy({"11": 900, "00": 100}, "11") == pytest.approx(0.9)
+        assert accuracy({"11": 900}, "00") == 0.0
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy({}, "0")
+
+    def test_hellinger_identical(self):
+        counts = {"0": 30, "1": 70}
+        assert hellinger_distance(counts, counts) == pytest.approx(0.0)
+        assert hellinger_fidelity(counts, counts) == pytest.approx(1.0)
+
+    def test_hellinger_disjoint(self):
+        assert hellinger_distance({"0": 10}, {"1": 10}) == pytest.approx(1.0)
+        assert hellinger_fidelity({"0": 10}, {"1": 10}) == pytest.approx(0.0)
+
+    def test_hellinger_bounds(self):
+        d = hellinger_distance({"0": 5, "1": 5}, {"0": 9, "1": 1})
+        assert 0.0 < d < 1.0
+
+
+class TestOverhead:
+    def test_report_from_circuits(self):
+        original = QuantumCircuit(2)
+        original.x(0).cx(0, 1)
+        modified = original.copy()
+        modified.x(1)
+        report = compare_circuits(original, modified)
+        assert report.gate_increase == 1
+        assert report.gate_increase_pct == pytest.approx(50.0)
+
+    def test_depth_preservation_flag(self):
+        report = OverheadReport(5, 5, 10, 12)
+        assert report.preserves_depth()
+        assert report.depth_increase == 0
+        assert OverheadReport(5, 6, 10, 12).preserves_depth() is False
+
+    def test_zero_baselines(self):
+        report = OverheadReport(0, 0, 0, 0)
+        assert report.depth_increase_pct == 0.0
+        assert report.gate_increase_pct == 0.0

@@ -1,0 +1,196 @@
+"""Tests for noise channels, readout errors and the noise model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import CXGate, U3Gate
+from repro.circuits.instruction import Instruction
+from repro.noise import (
+    NoiseModel,
+    QuantumChannel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    bit_phase_flip,
+    depolarizing,
+    phase_damping,
+    phase_flip,
+    tensor_channel,
+    thermal_relaxation,
+)
+
+
+def _is_cptp(channel):
+    dim = 2 ** channel.num_qubits
+    total = sum(
+        op.conj().T @ op for op in channel.kraus_operators
+    )
+    return np.allclose(total, np.eye(dim), atol=1e-8)
+
+
+class TestStandardChannels:
+    @pytest.mark.parametrize("factory,p", [
+        (bit_flip, 0.1),
+        (phase_flip, 0.2),
+        (bit_phase_flip, 0.05),
+        (amplitude_damping, 0.3),
+        (phase_damping, 0.15),
+    ])
+    def test_cptp(self, factory, p):
+        assert _is_cptp(factory(p))
+
+    def test_depolarizing_cptp_multi_qubit(self):
+        assert _is_cptp(depolarizing(0.1, 1))
+        assert _is_cptp(depolarizing(0.2, 2))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            bit_flip(1.5)
+        with pytest.raises(ValueError):
+            bit_flip(-0.1)
+
+    def test_bit_flip_action_on_density(self):
+        """Exact channel action: rho' = (1-p) rho + p X rho X."""
+        channel = bit_flip(0.25)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = sum(
+            k @ rho @ k.conj().T for k in channel.kraus_operators
+        )
+        assert np.allclose(out, [[0.75, 0], [0, 0.25]])
+
+    def test_depolarizing_full_mixes(self):
+        channel = depolarizing(1.0)
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        out = sum(
+            k @ rho @ k.conj().T for k in channel.kraus_operators
+        )
+        assert np.allclose(out, np.eye(2) / 2)
+
+    def test_amplitude_damping_decays_excited(self):
+        channel = amplitude_damping(0.4)
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = sum(
+            k @ rho @ k.conj().T for k in channel.kraus_operators
+        )
+        assert out[0, 0] == pytest.approx(0.4)
+        assert out[1, 1] == pytest.approx(0.6)
+
+    def test_mixed_unitary_detection(self):
+        assert bit_flip(0.1).mixed_unitary_probs == pytest.approx([0.9, 0.1])
+        assert depolarizing(0.2, 2).mixed_unitary_probs is not None
+        assert amplitude_damping(0.3).mixed_unitary_probs is None
+
+    def test_thermal_relaxation_cptp(self):
+        assert _is_cptp(thermal_relaxation(100.0, 80.0, 0.5))
+
+    def test_thermal_relaxation_limits(self):
+        """At long gate times the excited population fully decays."""
+        channel = thermal_relaxation(1.0, 1.0, 1000.0)
+        rho = np.array([[0, 0], [0, 1]], dtype=complex)
+        out = sum(
+            k @ rho @ k.conj().T for k in channel.kraus_operators
+        )
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_thermal_relaxation_physicality(self):
+        with pytest.raises(ValueError):
+            thermal_relaxation(10.0, 30.0, 0.1)  # T2 > 2 T1
+        with pytest.raises(ValueError):
+            thermal_relaxation(-1.0, 1.0, 0.1)
+
+    def test_compose(self):
+        composed = bit_flip(0.1).compose(phase_flip(0.1))
+        assert _is_cptp(composed)
+        assert len(composed.kraus_operators) == 4
+
+    def test_tensor_channel(self):
+        pair = tensor_channel(bit_flip(0.1), phase_flip(0.2))
+        assert pair.num_qubits == 2
+        assert _is_cptp(pair)
+
+    def test_invalid_kraus_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumChannel([np.eye(2) * 2])
+        with pytest.raises(ValueError):
+            QuantumChannel([])
+
+    def test_unital_check(self):
+        assert bit_flip(0.3).is_unital()
+        assert not amplitude_damping(0.3).is_unital()
+
+
+class TestReadoutError:
+    def test_flip_probabilities(self):
+        error = ReadoutError(0.1, 0.2)
+        assert error.flip_probability(0) == 0.1
+        assert error.flip_probability(1) == 0.2
+        assert error.average_error() == pytest.approx(0.15)
+
+    def test_assignment_matrix_stochastic(self):
+        matrix = ReadoutError(0.1, 0.2).assignment_matrix()
+        assert np.allclose(matrix.sum(axis=0), [1.0, 1.0])
+
+    def test_apply_statistics(self):
+        error = ReadoutError(0.5, 0.0)
+        rng = np.random.default_rng(0)
+        flips = sum(error.apply(0, rng) for _ in range(2000))
+        assert flips == pytest.approx(1000, abs=100)
+
+
+class TestNoiseModel:
+    def test_all_qubit_binding(self):
+        model = NoiseModel().add_all_qubit_quantum_error(
+            bit_flip(0.1), ["x"]
+        )
+        inst = Instruction(U3Gate([1, 2, 3]), (0,))
+        assert model.errors_for(inst) == []
+        from repro.circuits.gates import XGate
+
+        bound = model.errors_for(Instruction(XGate(), (4,)))
+        assert len(bound) == 1
+        assert bound[0].resolve(Instruction(XGate(), (4,))) == (4,)
+
+    def test_qubit_specific_binding(self):
+        model = NoiseModel().add_quantum_error(
+            depolarizing(0.1, 2), ["cx"], [1, 2]
+        )
+        hit = Instruction(CXGate(), (1, 2))
+        miss = Instruction(CXGate(), (2, 1))
+        assert len(model.errors_for(hit)) == 1
+        assert model.errors_for(miss) == []
+
+    def test_slot_binding(self):
+        model = NoiseModel().add_quantum_error(
+            amplitude_damping(0.2), ["cx"], [0, 1], slots=[1]
+        )
+        inst = Instruction(CXGate(), (0, 1))
+        bound = model.errors_for(inst)
+        assert len(bound) == 1
+        assert bound[0].resolve(inst) == (1,)
+
+    def test_one_qubit_channel_fans_out(self):
+        model = NoiseModel().add_all_qubit_quantum_error(
+            bit_flip(0.1), ["cx"]
+        )
+        bound = model.errors_for(Instruction(CXGate(), (0, 1)))
+        assert len(bound) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel().add_quantum_error(
+                depolarizing(0.1, 2), ["x"], [0]
+            )
+
+    def test_readout_registry(self):
+        model = NoiseModel().add_readout_error(ReadoutError(0.1, 0.1), 3)
+        assert model.readout_error(3) is not None
+        assert model.readout_error(0) is None
+        assert model.has_readout_errors()
+
+    def test_trivial(self):
+        assert NoiseModel().is_trivial()
+        assert not NoiseModel().add_readout_error(
+            ReadoutError(0.1, 0.1), 0
+        ).is_trivial()

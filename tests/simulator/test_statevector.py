@@ -1,0 +1,174 @@
+"""Statevector engine tests, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.gates import CXGate, HGate, XGate
+from repro.simulator import (
+    Statevector,
+    bitstring_to_index,
+    format_bitstring,
+)
+
+
+class TestConstruction:
+    def test_default_is_all_zero(self):
+        state = Statevector(3)
+        assert state.amplitude(0) == 1.0
+        assert state.probabilities()[0] == pytest.approx(1.0)
+
+    def test_from_basis_state(self):
+        state = Statevector.from_basis_state(3, 5)
+        assert state.amplitude(5) == 1.0
+        assert state.most_probable_bitstring() == "101"
+
+    def test_from_bitstring(self):
+        state = Statevector.from_bitstring("10")
+        # qubit 0 is right-most: q0=0, q1=1 -> index 2
+        assert state.amplitude(2) == 1.0
+
+    def test_basis_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            Statevector.from_basis_state(2, 4)
+
+    def test_unnormalised_data_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(1, data=np.array([1.0, 1.0]))
+
+    def test_bitstring_roundtrip(self):
+        for index in range(8):
+            assert bitstring_to_index(format_bitstring(index, 3)) == index
+
+
+class TestGateApplication:
+    def test_x_flips_qubit(self):
+        state = Statevector(2)
+        state.apply_gate(XGate(), [1])
+        assert state.most_probable_bitstring() == "10"
+
+    def test_h_creates_superposition(self):
+        state = Statevector(1)
+        state.apply_gate(HGate(), [0])
+        assert state.probabilities() == pytest.approx([0.5, 0.5])
+
+    def test_cx_on_nonadjacent_qubits(self):
+        state = Statevector(3)
+        state.apply_gate(XGate(), [0])
+        state.apply_gate(CXGate(), [0, 2])
+        assert state.most_probable_bitstring() == "101"
+
+    def test_cx_reversed_order(self):
+        state = Statevector(2)
+        state.apply_gate(XGate(), [1])
+        state.apply_gate(CXGate(), [1, 0])  # control=1, target=0
+        assert state.most_probable_bitstring() == "11"
+
+    def test_against_kron_reference(self):
+        """Applying H to qubit 1 of 2 equals (H (x) I) in little-endian."""
+        state = Statevector(2)
+        state.apply_gate(XGate(), [0])
+        state.apply_gate(HGate(), [1])
+        vec = state.to_vector()
+        # little-endian: qubit 1 is the left factor of the kron
+        expected = np.kron(HGate().matrix, np.eye(2)) @ np.array(
+            [0, 1, 0, 0]
+        )
+        assert np.allclose(vec, expected)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_matrix(np.eye(4), [0])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(2).apply_matrix(np.eye(4), [0, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            Statevector(1).apply_matrix(np.eye(2), [1])
+
+
+class TestMeasurement:
+    def test_probability_of_outcome(self):
+        state = Statevector(2)
+        state.apply_gate(HGate(), [0])
+        assert state.probability_of_outcome(0, 1) == pytest.approx(0.5)
+        assert state.probability_of_outcome(1, 1) == pytest.approx(0.0)
+
+    def test_collapse(self):
+        state = Statevector(1)
+        state.apply_gate(HGate(), [0])
+        state.collapse(0, 1)
+        assert state.amplitude(1) == pytest.approx(1.0)
+
+    def test_collapse_zero_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(1).collapse(0, 1)
+
+    def test_measure_collapses_consistently(self):
+        rng = np.random.default_rng(0)
+        state = Statevector(2)
+        state.apply_gate(HGate(), [0])
+        state.apply_gate(CXGate(), [0, 1])
+        outcome = state.measure_qubit(0, rng)
+        # entangled: second qubit must agree
+        assert state.probability_of_outcome(1, outcome) == pytest.approx(1.0)
+
+    def test_sample_counts_deterministic_state(self):
+        counts = Statevector.from_bitstring("011").sample_counts(
+            100, rng=np.random.default_rng(1)
+        )
+        assert counts == {"011": 100}
+
+    def test_sample_counts_subset_of_qubits(self):
+        counts = Statevector.from_bitstring("011").sample_counts(
+            10, rng=np.random.default_rng(1), qubits=[1]
+        )
+        assert counts == {"1": 10}
+
+    def test_sample_counts_total(self):
+        state = Statevector(2)
+        state.apply_gate(HGate(), [0])
+        counts = state.sample_counts(500, rng=np.random.default_rng(2))
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"00", "01"}
+
+
+class TestInnerProducts:
+    def test_fidelity_identical(self):
+        a = Statevector.from_bitstring("01")
+        b = Statevector.from_bitstring("01")
+        assert a.fidelity(b) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal(self):
+        a = Statevector.from_bitstring("01")
+        b = Statevector.from_bitstring("10")
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Statevector(1).inner(Statevector(2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(2, 4))
+def test_norm_preserved_under_random_circuits(seed, num_qubits):
+    """Property: unitary evolution preserves the state norm."""
+    circuit = random_circuit(num_qubits, 12, seed=seed)
+    state = Statevector(num_qubits).evolve(circuit)
+    assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_evolve_then_inverse_restores_input(seed):
+    """Property: C then C^{-1} is the identity on states."""
+    circuit = random_circuit(3, 10, seed=seed)
+    state = Statevector.from_basis_state(3, seed % 8)
+    state.evolve(circuit)
+    state.evolve(circuit.inverse())
+    expected = Statevector.from_basis_state(3, seed % 8)
+    assert state.fidelity(expected) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,135 @@
+"""Tests for unitary construction, equivalence checks and Counts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.simulator import (
+    Counts,
+    circuit_unitary,
+    circuits_equivalent,
+    equal_up_to_global_phase,
+    permutation_matrix,
+)
+
+
+class TestCircuitUnitary:
+    def test_identity_circuit(self):
+        assert np.allclose(circuit_unitary(QuantumCircuit(2)), np.eye(4))
+
+    def test_x_unitary(self):
+        qc = QuantumCircuit(1)
+        qc.x(0)
+        assert np.allclose(circuit_unitary(qc), [[0, 1], [1, 0]])
+
+    def test_little_endian_cx(self):
+        """CX with control q0, target q1 in little-endian indexing."""
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        u = circuit_unitary(qc)
+        # |01> (q0=1) -> |11> i.e. column 1 has a 1 in row 3
+        assert u[3, 1] == pytest.approx(1.0)
+        assert u[0, 0] == pytest.approx(1.0)
+
+    def test_measured_circuit_rejected(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(ValueError):
+            circuit_unitary(qc)
+
+    def test_composition_is_matrix_product(self):
+        a = random_circuit(2, 6, seed=1)
+        b = random_circuit(2, 6, seed=2)
+        combined = a.compose(b)
+        assert np.allclose(
+            circuit_unitary(combined),
+            circuit_unitary(b) @ circuit_unitary(a),
+            atol=1e-9,
+        )
+
+
+class TestEquivalence:
+    def test_global_phase_ignored(self):
+        u = circuit_unitary(random_circuit(2, 5, seed=3))
+        assert equal_up_to_global_phase(u, np.exp(0.7j) * u)
+
+    def test_different_unitaries_rejected(self):
+        qc1 = QuantumCircuit(1)
+        qc1.x(0)
+        qc2 = QuantumCircuit(1)
+        qc2.z(0)
+        assert not circuits_equivalent(qc1, qc2)
+
+    def test_z_rz_equivalent_up_to_phase(self):
+        qc1 = QuantumCircuit(1)
+        qc1.z(0)
+        qc2 = QuantumCircuit(1)
+        qc2.rz(math.pi, 0)
+        assert circuits_equivalent(qc1, qc2)
+
+    def test_shape_mismatch(self):
+        assert not equal_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_permutation_equivalence(self):
+        """SWAP = identity under the right output permutation."""
+        swapped = QuantumCircuit(2)
+        swapped.swap(0, 1)
+        identity = QuantumCircuit(2)
+        assert circuits_equivalent(
+            identity, swapped, output_permutation={0: 1, 1: 0}
+        )
+
+    def test_permutation_matrix_action(self):
+        p = permutation_matrix({0: 1, 1: 0}, 2)
+        state = np.zeros(4)
+        state[1] = 1.0  # |01> -> |10>
+        out = p @ state
+        assert out[2] == pytest.approx(1.0)
+
+
+class TestCounts:
+    def test_shots_inferred(self):
+        counts = Counts({"00": 60, "11": 40})
+        assert counts.shots == 100
+
+    def test_declared_shots(self):
+        counts = Counts({"00": 60}, shots=100)
+        assert counts.shots == 100
+        assert counts.fraction("00") == pytest.approx(0.6)
+
+    def test_probabilities(self):
+        counts = Counts({"0": 25, "1": 75})
+        assert counts.probabilities() == {"0": 0.25, "1": 0.75}
+
+    def test_most_frequent(self):
+        assert Counts({"01": 5, "10": 9}).most_frequent() == "10"
+
+    def test_most_frequent_tie_lexicographic(self):
+        assert Counts({"11": 5, "00": 5}).most_frequent() == "00"
+
+    def test_most_frequent_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Counts().most_frequent()
+
+    def test_marginal(self):
+        counts = Counts({"110": 4, "010": 6})
+        # keep bit positions 0 and 2 (right-most and left-most)
+        reduced = counts.marginal([0, 2])
+        assert reduced == {"10": 4, "00": 6}
+
+    def test_marginal_merges(self):
+        counts = Counts({"10": 4, "11": 6})
+        assert counts.marginal([1]) == {"1": 10}
+
+    def test_merge(self):
+        merged = Counts({"0": 1}).merge(Counts({"0": 2, "1": 3}))
+        assert merged == {"0": 3, "1": 3}
+
+    def test_int_outcomes(self):
+        assert Counts({"10": 7}).int_outcomes() == {2: 7}
+
+    def test_top(self):
+        counts = Counts({"00": 1, "01": 5, "10": 3})
+        assert counts.top(2) == (("01", 5), ("10", 3))

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import from_qasm
+from repro.cli import main
+from repro.revlib import benchmark_circuit, write_real
+from repro.synth import simulate_reversible
+
+
+@pytest.fixture()
+def real_file(tmp_path):
+    path = tmp_path / "4gt13.real"
+    path.write_text(write_real(benchmark_circuit("4gt13")))
+    return path
+
+
+class TestProtectRestore:
+    def test_roundtrip(self, tmp_path, real_file, capsys):
+        prefix = tmp_path / "prot"
+        code = main(
+            ["protect", str(real_file), "-o", str(prefix), "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "random pair" in out
+
+        metadata = json.loads(
+            (tmp_path / "prot.tetrislock.json").read_text()
+        )
+        assert metadata["num_qubits"] == 4
+        assert Path(metadata["segment1"]["path"]).exists()
+        assert Path(metadata["segment2"]["path"]).exists()
+        # depth preserved end to end
+        assert metadata["depth_obfuscated"] == metadata["depth_original"]
+
+        restored_path = tmp_path / "restored.qasm"
+        code = main(
+            [
+                "restore",
+                str(tmp_path / "prot.tetrislock.json"),
+                "-o",
+                str(restored_path),
+            ]
+        )
+        assert code == 0
+        restored = from_qasm(restored_path.read_text())
+        assert simulate_reversible(restored) == simulate_reversible(
+            benchmark_circuit("4gt13")
+        )
+
+    def test_protect_qasm_input(self, tmp_path, capsys):
+        from repro.circuits import to_qasm
+
+        qasm_path = tmp_path / "circ.qasm"
+        qasm_path.write_text(to_qasm(benchmark_circuit("4mod5")))
+        code = main(
+            ["protect", str(qasm_path), "-o", str(tmp_path / "p"),
+             "--seed", "1"]
+        )
+        assert code == 0
+
+    def test_segments_hide_function(self, tmp_path, real_file):
+        main(["protect", str(real_file), "-o", str(tmp_path / "p"),
+              "--seed", "5"])
+        metadata = json.loads(
+            (tmp_path / "p.tetrislock.json").read_text()
+        )
+        if metadata["inserted_pairs"] == 0:
+            pytest.skip("no pairs inserted for this seed")
+        seg2 = from_qasm(Path(metadata["segment2"]["path"]).read_text())
+        # segment 2 alone is not the tail of the original circuit: it
+        # contains uncancelled R gates
+        assert seg2.size() > 0
+
+
+class TestInspect:
+    def test_inspect_output(self, real_file, capsys):
+        code = main(["inspect", str(real_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "qubits: 4" in out
+        assert "depth: 4" in out
+        assert "empty slots" in out
+
+
+class TestExperimentShortcuts:
+    def test_attack_shortcut(self, capsys):
+        code = main(["attack"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Saki" in out

@@ -1,0 +1,56 @@
+"""The example scripts run end to end (they double as integration tests)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, argv=None) -> None:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + list(argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Accuracy after de-obfuscation" in out
+    accuracy = float(out.rsplit(":", 1)[1])
+    assert accuracy > 0.4
+
+
+def test_interlocking_patterns_runs(capsys):
+    _run("interlocking_patterns.py")
+    out = capsys.readouterr().out
+    assert "restores the original exactly: True" in out
+    assert "Pattern A" in out
+
+
+def test_colluding_attack_runs(capsys):
+    _run("colluding_attack.py")
+    out = capsys.readouterr().out
+    assert "attack SUCCEEDS" in out
+    assert "corrupted: True" in out
+
+
+def test_grover_protection_runs(capsys):
+    _run("grover_protection.py")
+    out = capsys.readouterr().out
+    assert "P(101) restored" in out
+    restored = float(out.rsplit(":", 1)[1])
+    assert restored > 0.7
+
+
+@pytest.mark.slow
+def test_revlib_protection_runs(capsys):
+    _run("revlib_protection.py", argv=["4gt13"])
+    out = capsys.readouterr().out
+    assert "4gt13" in out
+    assert "Shape checks" in out

@@ -1,0 +1,130 @@
+"""Tests for Euler decomposition and basis translation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.gates import U3Gate, UnitaryGate, gate_from_name
+from repro.simulator import circuit_unitary, equal_up_to_global_phase
+from repro.transpiler import (
+    BASIS_GATES,
+    translate_to_basis,
+    u3_angles,
+    zyz_angles,
+)
+from repro.transpiler.euler import ry_matrix, rz_matrix
+
+
+def _random_unitary(seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, _ = np.linalg.qr(matrix)
+    return q
+
+
+class TestEuler:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_zyz_roundtrip(self, seed):
+        """Property: ZYZ angles reconstruct the matrix exactly."""
+        u = _random_unitary(seed)
+        alpha, beta, gamma, delta = zyz_angles(u)
+        rebuilt = (
+            np.exp(1j * alpha)
+            * rz_matrix(beta) @ ry_matrix(gamma) @ rz_matrix(delta)
+        )
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_u3_roundtrip(self, seed):
+        u = _random_unitary(seed)
+        theta, phi, lam, phase = u3_angles(u)
+        rebuilt = np.exp(1j * phase) * U3Gate([theta, phi, lam]).matrix
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+    def test_diagonal_case(self):
+        theta, phi, lam, _ = u3_angles(np.diag([1, 1j]))
+        assert theta == pytest.approx(0.0, abs=1e-9)
+
+    def test_antidiagonal_case(self):
+        u = np.array([[0, 1], [1, 0]], dtype=complex)
+        theta, _, _, _ = u3_angles(u)
+        assert theta == pytest.approx(math.pi, abs=1e-9)
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.zeros((2, 2)))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.eye(4))
+
+
+_GATE_CASES = [
+    ("x", []), ("y", []), ("z", []), ("h", []), ("s", []), ("sdg", []),
+    ("t", []), ("tdg", []), ("sx", []), ("id", []),
+    ("rx", [0.7]), ("ry", [1.1]), ("rz", [0.4]), ("p", [0.9]),
+    ("u1", [0.3]), ("u2", [0.2, 0.6]), ("u3", [0.5, 0.1, 0.8]),
+    ("cx", []), ("cy", []), ("cz", []), ("ch", []), ("swap", []),
+    ("crz", [0.7]), ("cp", [1.2]), ("ccx", []), ("cswap", []),
+]
+
+
+class TestBasisTranslation:
+    @pytest.mark.parametrize("name,params", _GATE_CASES,
+                             ids=[c[0] for c in _GATE_CASES])
+    def test_every_gate_translates_equivalently(self, name, params):
+        gate = gate_from_name(name, params)
+        qc = QuantumCircuit(gate.num_qubits)
+        qc.append(gate, list(range(gate.num_qubits)))
+        lowered = translate_to_basis(qc)
+        assert all(
+            inst.name in BASIS_GATES for inst in lowered.gates()
+        )
+        assert equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(lowered)
+        )
+
+    def test_mcx_expansion_included(self):
+        qc = QuantumCircuit(6)
+        qc.mcx([0, 1, 2, 3], 4)
+        lowered = translate_to_basis(qc)
+        assert all(inst.name in BASIS_GATES for inst in lowered.gates())
+        assert equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(lowered)
+        )
+
+    def test_unitary_gate_translates(self):
+        u = _random_unitary(5)
+        qc = QuantumCircuit(1)
+        qc.append(UnitaryGate(u), [0])
+        lowered = translate_to_basis(qc)
+        assert equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(lowered)
+        )
+
+    def test_two_qubit_unitary_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.unitary(np.eye(4), [0, 1])
+        with pytest.raises(ValueError):
+            translate_to_basis(qc)
+
+    def test_measures_pass_through(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0).measure(0, 0)
+        lowered = translate_to_basis(qc)
+        assert lowered.has_measurements()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_circuits_survive_translation(self, seed):
+        qc = random_circuit(3, 10, seed=seed)
+        lowered = translate_to_basis(qc)
+        assert equal_up_to_global_phase(
+            circuit_unitary(qc), circuit_unitary(lowered)
+        )

@@ -1,0 +1,130 @@
+"""Tests for commutation analysis and commutation-aware cancellation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.circuits.gates import gate_from_name
+from repro.circuits.instruction import Instruction
+from repro.core import insert_random_pairs, interlocking_split
+from repro.revlib import benchmark_circuit
+from repro.simulator import circuit_unitary, equal_up_to_global_phase
+from repro.synth import simulate_reversible
+from repro.transpiler import commutation_cancel, commutes
+
+
+def _inst(name, qubits, params=None):
+    return Instruction(gate_from_name(name, params), tuple(qubits))
+
+
+class TestCommutes:
+    def test_disjoint_qubits(self):
+        assert commutes(_inst("x", [0]), _inst("h", [1]))
+        assert commutes(_inst("cx", [0, 1]), _inst("cx", [2, 3]))
+
+    def test_diagonal_gates(self):
+        assert commutes(_inst("z", [0]), _inst("t", [0]))
+        assert commutes(_inst("cz", [0, 1]), _inst("s", [1]))
+
+    def test_x_through_cx_target(self):
+        assert commutes(_inst("x", [1]), _inst("cx", [0, 1]))
+
+    def test_x_blocks_on_cx_control(self):
+        assert not commutes(_inst("x", [0]), _inst("cx", [0, 1]))
+
+    def test_z_through_cx_control(self):
+        assert commutes(_inst("z", [0]), _inst("cx", [0, 1]))
+
+    def test_z_blocks_on_cx_target(self):
+        assert not commutes(_inst("z", [1]), _inst("cx", [0, 1]))
+
+    def test_cx_shared_control(self):
+        assert commutes(_inst("cx", [0, 1]), _inst("cx", [0, 2]))
+
+    def test_cx_shared_target(self):
+        assert commutes(_inst("cx", [0, 2]), _inst("cx", [1, 2]))
+
+    def test_cx_chained(self):
+        assert not commutes(_inst("cx", [0, 1]), _inst("cx", [1, 2]))
+
+    def test_h_blocks_on_everything_shared(self):
+        assert not commutes(_inst("h", [0]), _inst("x", [0]))
+        assert not commutes(_inst("h", [1]), _inst("cx", [0, 1]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        name_a=st.sampled_from(["x", "z", "h", "s", "t"]),
+        name_b=st.sampled_from(["x", "z", "h", "s", "t", "cx", "cz"]),
+        qubit_a=st.integers(0, 2),
+        seed=st.integers(0, 100),
+    )
+    def test_structural_rules_match_matrices(
+        self, name_a, name_b, qubit_a, seed
+    ):
+        """Property: rule-based answers agree with the matrix check."""
+        rng = np.random.default_rng(seed)
+        a = _inst(name_a, [qubit_a])
+        if name_b in ("cx", "cz"):
+            pair = rng.choice(3, size=2, replace=False)
+            b = _inst(name_b, pair.tolist())
+        else:
+            b = _inst(name_b, [int(rng.integers(3))])
+        # exact answer via matrices
+        qubits = sorted(set(a.qubits) | set(b.qubits))
+        index = {q: i for i, q in enumerate(qubits)}
+        ca = QuantumCircuit(len(qubits))
+        ca.append(a.operation, [index[q] for q in a.qubits])
+        cb = QuantumCircuit(len(qubits))
+        cb.append(b.operation, [index[q] for q in b.qubits])
+        ua, ub = circuit_unitary(ca), circuit_unitary(cb)
+        exact = bool(np.allclose(ua @ ub, ub @ ua, atol=1e-9))
+        assert commutes(a, b) == exact
+
+
+class TestCommutationCancel:
+    def test_cancels_through_commuting_gate(self):
+        qc = QuantumCircuit(2)
+        qc.x(1).cx(0, 1).x(1)  # X commutes through the CX target
+        out = commutation_cancel(qc)
+        assert out.size() == 1
+        assert out.gates()[0].name == "cx"
+
+    def test_blocked_by_noncommuting_gate(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).cx(0, 1).x(0)
+        assert commutation_cancel(qc).size() == 3
+
+    def test_preserves_function(self):
+        for seed in range(5):
+            qc = random_circuit(
+                3, 12, gate_pool=["x", "z", "h", "s", "cx", "cz"], seed=seed
+            )
+            out = commutation_cancel(qc)
+            assert equal_up_to_global_phase(
+                circuit_unitary(qc), circuit_unitary(out)
+            )
+            assert out.size() <= qc.size()
+
+    def test_security_property_segments_resist_cancellation(self):
+        """The TetrisLock invariant against an optimising adversary:
+        within a single split segment the inserted gates never cancel
+        (their partners are in the other segment), while the recombined
+        circuit cancels back to the original size."""
+        circuit = benchmark_circuit("rd53")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=3)
+        assert insertion.num_pairs >= 1
+        split = interlocking_split(insertion, seed=4)
+
+        for segment in (split.segment1.compact, split.segment2.compact):
+            optimised = commutation_cancel(segment)
+            # an aggressive compiler cannot shrink away the R gates
+            r_like = segment.size() - optimised.size()
+            assert r_like == 0
+
+        recombined = commutation_cancel(split.recombined())
+        assert simulate_reversible(recombined) == simulate_reversible(
+            circuit
+        )
+        assert recombined.size() <= circuit.size() + 2 * insertion.num_pairs

@@ -1,0 +1,114 @@
+"""Tests for coupling maps and layouts."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.transpiler import CouplingMap, Layout, greedy_layout, trivial_layout
+
+
+class TestCouplingMap:
+    def test_line(self):
+        cmap = CouplingMap.line(4)
+        assert cmap.edges() == [(0, 1), (1, 2), (2, 3)]
+        assert cmap.is_connected()
+
+    def test_ring_and_grid_and_full(self):
+        assert len(CouplingMap.ring(5).edges()) == 5
+        assert len(CouplingMap.full(4).edges()) == 6
+        grid = CouplingMap.grid(2, 3)
+        assert grid.num_qubits == 6
+        assert grid.is_adjacent(0, 3)
+        assert not grid.is_adjacent(0, 4)
+
+    def test_distance(self):
+        cmap = CouplingMap.line(5)
+        assert cmap.distance(0, 4) == 4
+        assert cmap.distance(2, 2) == 0
+
+    def test_shortest_path(self):
+        path = CouplingMap.line(5).shortest_path(0, 3)
+        assert path == [0, 1, 2, 3]
+
+    def test_neighbors_degree(self):
+        cmap = CouplingMap([(0, 1), (1, 2), (1, 3)])
+        assert cmap.neighbors(1) == [0, 2, 3]
+        assert cmap.degree(1) == 3
+
+    def test_disconnected(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=3)
+        assert not cmap.is_connected()
+        with pytest.raises(ValueError):
+            cmap.distance(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap([(1, 1)])
+
+    def test_num_qubits_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingMap([(0, 5)], num_qubits=2)
+
+
+class TestLayout:
+    def test_bijection_enforced(self):
+        with pytest.raises(ValueError):
+            Layout({0: 1, 1: 1})
+
+    def test_lookup_both_ways(self):
+        layout = Layout({0: 2, 1: 0})
+        assert layout.physical(0) == 2
+        assert layout.virtual(2) == 0
+        assert layout.virtual(1) is None
+
+    def test_swap_physical(self):
+        layout = Layout({0: 0, 1: 1})
+        layout.swap_physical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.physical(1) == 0
+
+    def test_swap_with_unmapped_physical(self):
+        layout = Layout({0: 0})
+        layout.swap_physical(0, 3)
+        assert layout.physical(0) == 3
+        assert layout.virtual(0) is None
+
+    def test_compose_permutation(self):
+        first = Layout({0: 0, 1: 1})
+        second = Layout({0: 1, 1: 0})
+        assert first.compose_permutation(second) == {0: 1, 1: 0}
+
+    def test_copy_independent(self):
+        layout = Layout({0: 0})
+        clone = layout.copy()
+        clone.swap_physical(0, 1)
+        assert layout.physical(0) == 0
+
+    def test_trivial(self):
+        assert trivial_layout(3).to_dict() == {0: 0, 1: 1, 2: 2}
+
+
+class TestGreedyLayout:
+    def test_covers_all_virtual_qubits(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1).cx(1, 2).cx(2, 3)
+        layout = greedy_layout(qc, CouplingMap.line(6))
+        assert sorted(layout.virtual_qubits) == [0, 1, 2, 3]
+        assert len(set(layout.to_dict().values())) == 4
+
+    def test_interacting_pairs_placed_close(self):
+        qc = QuantumCircuit(2)
+        for _ in range(5):
+            qc.cx(0, 1)
+        cmap = CouplingMap.line(8)
+        layout = greedy_layout(qc, cmap)
+        assert cmap.distance(layout.physical(0), layout.physical(1)) == 1
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_layout(QuantumCircuit(5), CouplingMap.line(3))
+
+    def test_deterministic(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2).cx(1, 2)
+        cmap = CouplingMap.line(5)
+        assert greedy_layout(qc, cmap) == greedy_layout(qc, cmap)
