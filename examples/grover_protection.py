@@ -18,7 +18,8 @@ import numpy as np
 
 from repro import TetrisLockObfuscator, interlocking_split
 from repro.circuits import grover_circuit
-from repro.simulator import Statevector, run_counts_batched
+from repro.execution import run as execute
+from repro.simulator import Statevector
 
 
 def main() -> None:
@@ -54,7 +55,7 @@ def main() -> None:
     # split, recombine, verify the search still works
     split = interlocking_split(insertion, seed=6)
     restored = split.recombined()
-    counts = run_counts_batched(restored.measure_all(), shots=2000, seed=2)
+    counts = execute(restored.measure_all(), shots=2000, seed=2)
     print("\nAfter de-obfuscation:")
     print(f"  counts top-2: {counts.top(2)}")
     print(f"  P(101) restored: {counts.fraction('101'):.3f}")

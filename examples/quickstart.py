@@ -23,7 +23,7 @@ from repro import (
     valencia_like_backend,
 )
 from repro.circuits import draw_circuit
-from repro.simulator import run_counts_batched
+from repro.execution import run as execute
 from repro.synth import simulate_reversible
 
 
@@ -60,7 +60,9 @@ def main() -> None:
     flow = SplitCompilationFlow(backend, obfuscator=obfuscator, seed=42)
     compiled = flow.compile_split(split)
     measured = compiled.measured_circuit()
-    counts = run_counts_batched(
+    # the execution layer auto-dispatches: noisy + terminal measures
+    # -> the batched trajectory engine
+    counts = execute(
         measured, shots=1000, noise_model=backend.noise_model(), seed=1
     )
     expected = format(

@@ -4,8 +4,13 @@ interlocking patterns (Wang et al., DAC 2025).
 Public API tour
 ---------------
 * :mod:`repro.circuits` — circuit IR, gates, DAG/layers, QASM, drawer.
+* :mod:`repro.execution` — **the unified execution layer**: the
+  engine registry and :func:`repro.execution.run`, the single entry
+  point that auto-dispatches every simulation request to the fastest
+  valid engine.
 * :mod:`repro.simulator` — statevector / unitary / density /
-  (batched) trajectory engines.
+  (batched) trajectory engines plus the shared gate kernels
+  (:mod:`repro.simulator.kernels`) they are all built on.
 * :mod:`repro.noise` — channels, noise models, FakeValencia backend.
 * :mod:`repro.transpiler` — the "untrusted compiler": basis
   translation, layout, routing, optimisation.
@@ -30,9 +35,24 @@ Quickstart
 >>> split = interlocking_split(result, seed=7)
 >>> split.recombined().num_qubits
 3
+
+Simulate anything through the execution layer — engine choice is
+automatic (see :func:`repro.execution.run`):
+
+>>> from repro import run
+>>> counts = run(qc.copy().measure_all(), shots=100, seed=0)
+>>> counts.shots
+100
 """
 
 from .circuits import QuantumCircuit
+from .execution import (
+    available_engines,
+    get_engine,
+    register_engine,
+    run,
+    select_engine,
+)
 from .core import (
     BruteForceCollusionAttack,
     EvaluationResult,
@@ -69,6 +89,11 @@ __all__ = [
     "benchmark_circuit",
     "benchmark_names",
     "paper_suite",
+    "run",
+    "select_engine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "run_counts",
     "run_counts_batched",
     "transpile",

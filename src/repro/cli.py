@@ -10,8 +10,11 @@ design before sending it to third-party compilers:
 * ``restore``  — stitch two (possibly separately processed) segments
   back together using the metadata and write the restored circuit.
 * ``inspect``  — show a circuit's stats, layer grid and drawing.
+* ``simulate`` — run a circuit through the unified execution layer
+  (:func:`repro.execution.run`), optionally under the Valencia-style
+  noise model, with engine and precision selection.
 * ``table1`` / ``figure4`` / ``attack`` — shortcut to the experiment
-  harnesses.
+  harnesses (extra flags such as ``--jobs`` pass straight through).
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ from typing import List, Optional, Sequence
 from .circuits import QuantumCircuit, draw_circuit, from_qasm, to_qasm
 from .circuits.grid import OccupancyGrid
 from .core import TetrisLockObfuscator, interlocking_split
+from .execution import available_engines, run as execute, select_engine
+from .noise import valencia_like_backend
 from .revlib import parse_real, write_real
 
 __all__ = ["main"]
@@ -125,6 +130,44 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    circuit = _load_circuit(args.circuit)
+    if not circuit.has_measurements():
+        circuit = circuit.copy().measure_all()
+    noise_model = None
+    if args.noisy:
+        backend = valencia_like_backend(max(circuit.num_qubits, 2))
+        noise_model = backend.noise_model()
+    dtype = np.complex64 if args.single_precision else None
+    method = args.method
+    engine = (
+        select_engine(circuit, noise_model=noise_model, dtype=dtype)
+        if method == "auto"
+        else method
+    )
+    try:
+        counts = execute(
+            circuit,
+            args.shots,
+            noise_model=noise_model,
+            method=method,
+            seed=args.seed,
+            dtype=dtype,
+        )
+    except (KeyError, ValueError) as exc:
+        # unknown engine name / invalid engine request -> clean error
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(f"engine: {engine}  shots: {counts.shots}  "
+          f"noise: {'valencia-like' if noise_model else 'none'}")
+    for bitstring, count in counts.top(args.top):
+        print(f"  {bitstring}  {count:>6}  ({count / counts.shots:.3f})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TetrisLock split compilation toolkit"
@@ -148,25 +191,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     inspect.add_argument("circuit")
     inspect.set_defaults(func=_cmd_inspect)
 
+    simulate = sub.add_parser(
+        "simulate", help="run a circuit through repro.execution.run"
+    )
+    simulate.add_argument("circuit", help=".qasm or .real input")
+    simulate.add_argument("--shots", type=int, default=1000)
+    simulate.add_argument(
+        "--method", default="auto",
+        help="engine name or 'auto' (available: "
+        + ", ".join(available_engines()) + ")",
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+    simulate.add_argument(
+        "--noisy", action="store_true",
+        help="attach the Valencia-style noise model",
+    )
+    simulate.add_argument(
+        "--single-precision", action="store_true",
+        help="complex64 simulation (batched engine)",
+    )
+    simulate.add_argument("--top", type=int, default=5,
+                          help="outcomes to print")
+    simulate.set_defaults(func=_cmd_simulate)
+
     for name, module in [
         ("table1", "table1"),
         ("figure4", "figure4"),
         ("attack", "attack_complexity"),
     ]:
         experiment = sub.add_parser(
-            name, help=f"run the {name} experiment harness"
+            name, help=f"run the {name} experiment harness "
+            "(flags pass through, e.g. --jobs N)"
         )
-        experiment.add_argument("extra", nargs="*", default=[])
         experiment.set_defaults(func=None, harness=module)
 
-    args = parser.parse_args(argv)
+    # parse_known_args forwards harness flags (--jobs, --iterations,
+    # ...) to the experiment's own parser instead of rejecting them
+    args, extra = parser.parse_known_args(argv)
     if getattr(args, "func", None) is None:
         import importlib
 
         harness = importlib.import_module(
             f"repro.experiments.{args.harness}"
         )
-        return harness.main(args.extra)
+        return harness.main(extra)
+    if extra:
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
     return args.func(args)
 
 

@@ -26,11 +26,10 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
+from ..execution import Counts, run as execute
 from ..metrics.accuracy import accuracy
 from ..metrics.tvd import tvd_counts, tvd_to_reference
 from ..noise.backend import Backend, valencia_like_backend
-from ..simulator.batched import BatchedTrajectorySimulator
-from ..simulator.counts import Counts
 from ..synth.truthtable import simulate_reversible
 from ..transpiler.transpile import TranspileResult, transpile
 from .deobfuscate import CompiledSplit, SplitCompilationFlow
@@ -110,11 +109,15 @@ class TetrisLockPipeline:
         gate_limit: int = 4,
         gate_pool: Sequence[str] = ("x", "cx"),
         seed: Optional[Union[int, np.random.Generator]] = None,
+        dtype: Optional[np.dtype] = None,
     ) -> None:
+        """*dtype* is forwarded to :func:`repro.execution.run` — leave
+        ``None`` for each engine's default precision."""
         self.backend = backend
         self.shots = shots
         self.gate_limit = gate_limit
         self.gate_pool = tuple(gate_pool)
+        self.dtype = dtype
         if isinstance(seed, np.random.Generator):
             self._rng = seed
         else:
@@ -137,15 +140,24 @@ class TetrisLockPipeline:
         circuit.num_clbits = max(circuit.num_clbits, num_virtual)
         for v in range(num_virtual):
             circuit.measure(result.final_layout.physical(v), v)
-        sim = BatchedTrajectorySimulator(backend.noise_model(), self._rng)
-        return sim.run(circuit, self.shots)
+        return execute(
+            circuit,
+            self.shots,
+            noise_model=backend.noise_model(),
+            seed=self._rng,
+            dtype=self.dtype,
+        )
 
     def _simulate_restored(
         self, compiled: CompiledSplit, backend: Backend
     ) -> Counts:
-        circuit = compiled.measured_circuit()
-        sim = BatchedTrajectorySimulator(backend.noise_model(), self._rng)
-        return sim.run(circuit, self.shots)
+        return execute(
+            compiled.measured_circuit(),
+            self.shots,
+            noise_model=backend.noise_model(),
+            seed=self._rng,
+            dtype=self.dtype,
+        )
 
     # ------------------------------------------------------------------
     def evaluate(

@@ -1,0 +1,45 @@
+"""Unified execution layer: one ``run()`` for every simulation engine.
+
+Callers never instantiate simulator classes directly — they describe
+the request (circuit, shots, noise, precision) and the registry-driven
+dispatcher picks the fastest valid engine::
+
+    >>> from repro.execution import run
+    >>> counts = run(circuit, shots=1000, noise_model=model, seed=7)
+
+Engines register through :func:`register_engine`, so new backends
+(GPU, stabilizer, MPS) slot in without touching the pipeline,
+experiment harnesses, or CLI.
+"""
+
+from ..simulator.counts import Counts
+from .registry import (
+    SimulationEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from .api import run, select_engine
+from . import engines as _builtin_engines  # noqa: F401  (registers engines)
+from .engines import (
+    BatchedEngine,
+    DensityEngine,
+    StatevectorEngine,
+    TrajectoryEngine,
+)
+
+__all__ = [
+    "Counts",
+    "SimulationEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+    "run",
+    "select_engine",
+    "BatchedEngine",
+    "DensityEngine",
+    "StatevectorEngine",
+    "TrajectoryEngine",
+]

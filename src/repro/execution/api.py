@@ -1,0 +1,104 @@
+"""The single entry point every caller simulates through.
+
+``run(circuit, shots)`` auto-dispatches to the fastest registered
+engine that is valid for the request:
+
+* noiseless circuit, terminal measurements -> ``statevector`` (one
+  evolution + multinomial sampling, independent of the shot count);
+* noisy circuit, terminal measurements -> ``batched`` (all
+  trajectories in one tensor);
+* mid-circuit measurement -> ``trajectory`` (per-shot collapse);
+* ``method="density"`` on request -> exact mixed-state evolution.
+
+A non-default *dtype* routes to the batched engine, the only one with
+a precision knob.  Pass ``method=<engine name>`` to bypass dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
+from ..simulator.counts import Counts
+from ..simulator.trajectory import measures_are_terminal
+from .engines import wants_reduced_precision
+from .registry import get_engine
+
+__all__ = ["run", "select_engine"]
+
+Seed = Optional[Union[int, np.random.Generator]]
+
+
+def select_engine(
+    circuit: QuantumCircuit,
+    *,
+    noise_model: Optional[NoiseModel] = None,
+    dtype=None,
+) -> str:
+    """Name of the engine auto-dispatch would pick for this request.
+
+    Raises :class:`ValueError` for requests no engine can honour
+    (reduced precision with mid-circuit measurement).
+    """
+    if not measures_are_terminal(circuit):
+        if wants_reduced_precision(dtype):
+            raise ValueError(
+                "no engine supports reduced precision with mid-circuit "
+                "measurement; per-shot collapse runs in complex128 "
+                "(pass dtype=None)"
+            )
+        # per-shot collapse is the only way to honour mid-circuit
+        # measurement; the trajectory engine handles noise too
+        return "trajectory"
+    if noise_model is not None and not noise_model.is_trivial():
+        return "batched"
+    if wants_reduced_precision(dtype):
+        return "batched"
+    return "statevector"
+
+
+def run(
+    circuit: QuantumCircuit,
+    shots: int = 1000,
+    *,
+    noise_model: Optional[NoiseModel] = None,
+    method: str = "auto",
+    seed: Seed = None,
+    dtype=None,
+) -> Counts:
+    """Simulate *circuit* for *shots* and return its :class:`Counts`.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to execute.  Circuits without measurements use
+        measure-all semantics (every qubit reported).
+    shots:
+        Number of samples (must be positive).
+    noise_model:
+        Optional :class:`~repro.noise.model.NoiseModel`; ``None`` or a
+        trivial model selects the noiseless fast path.
+    method:
+        ``"auto"`` (default) picks the fastest valid engine; any name
+        from :func:`~repro.execution.available_engines` forces that
+        engine.
+    seed:
+        Integer seed or a shared :class:`numpy.random.Generator`.
+    dtype:
+        Simulation precision.  ``None`` keeps each engine's default
+        (complex128 everywhere except the batched engine's complex64);
+        ``numpy.complex64`` / ``numpy.complex128`` select explicitly —
+        reduced precision is only available on the batched engine, and
+        steers auto-dispatch there.
+    """
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    if method == "auto":
+        method = select_engine(circuit, noise_model=noise_model, dtype=dtype)
+    engine = get_engine(method)
+    return engine.run(
+        circuit, shots, noise_model=noise_model, seed=seed, dtype=dtype
+    )

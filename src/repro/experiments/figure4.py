@@ -82,6 +82,7 @@ def generate_figure4(
     seed: Optional[int] = 2025,
     benchmarks: Optional[Sequence[str]] = None,
     results: Optional[Dict[str, AggregateResult]] = None,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, TvdSeries]]:
     """Compute TVD distributions; reuses Table I results when given."""
     if results is None:
@@ -90,6 +91,7 @@ def generate_figure4(
             shots=shots,
             seed=seed,
             benchmarks=benchmarks,
+            jobs=jobs,
         )
     figure: Dict[str, Dict[str, TvdSeries]] = {}
     for name, aggregate in results.items():
@@ -127,12 +129,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--shots", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--benchmarks", nargs="*")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers (deterministic for a fixed seed)",
+    )
     args = parser.parse_args(argv)
     figure = generate_figure4(
         iterations=args.iterations,
         shots=args.shots,
         seed=args.seed,
         benchmarks=args.benchmarks,
+        jobs=args.jobs,
     )
     print(render_figure4(figure))
     return 0

@@ -24,9 +24,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.insertion import insert_random_pairs
+from ..execution import run as execute
 from ..metrics.tvd import tvd_to_reference
 from ..revlib.benchmarks import load_benchmark, paper_suite
-from ..simulator.batched import run_counts_batched
 
 __all__ = ["SweepPoint", "run_gate_limit_sweep", "render_sweep", "main"]
 
@@ -64,7 +64,9 @@ def run_gate_limit_sweep(
                 )
                 inserted.append(result.num_pairs)
                 rc = result.rc_circuit()
-                counts = run_counts_batched(rc, shots=shots, seed=rng)
+                # noiseless + terminal measures: auto-dispatch picks
+                # the statevector engine (one evolution per circuit)
+                counts = execute(rc, shots, seed=rng)
                 tvds.append(tvd_to_reference(counts, expected))
             points.append(
                 SweepPoint(

@@ -46,13 +46,18 @@ def generate_table1(
     shots: int = 1000,
     seed: Optional[int] = 2025,
     benchmarks: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> Dict[str, AggregateResult]:
-    """Compute all Table I rows; returns name -> aggregate."""
+    """Compute all Table I rows; returns name -> aggregate.
+
+    *jobs* parallelises the (benchmark, iteration) grid; results are
+    identical for a fixed seed whatever the worker count.
+    """
     records = paper_suite()
     if benchmarks:
         records = [r for r in records if r.name in set(benchmarks)]
     return run_suite(
-        records, iterations=iterations, shots=shots, seed=seed
+        records, iterations=iterations, shots=shots, seed=seed, jobs=jobs
     )
 
 
@@ -91,12 +96,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--benchmarks", nargs="*", help="subset of benchmark names"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers (deterministic for a fixed seed)",
+    )
     args = parser.parse_args(argv)
     results = generate_table1(
         iterations=args.iterations,
         shots=args.shots,
         seed=args.seed,
         benchmarks=args.benchmarks,
+        jobs=args.jobs,
     )
     print(render_table1(results))
     return 0

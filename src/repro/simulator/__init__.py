@@ -1,7 +1,18 @@
-"""Simulation engines: statevector, unitary, trajectory and density."""
+"""Simulation engines: statevector, unitary, trajectory and density.
+
+All engines share the gate-application kernels in
+:mod:`repro.simulator.kernels`; callers should normally go through the
+dispatching entry point :func:`repro.execution.run` rather than
+instantiating engines directly.
+"""
 
 from .batched import BatchedTrajectorySimulator, run_counts_batched
-from .counts import Counts
+from .counts import Counts, counts_from_outcomes, remap_bits
+from .kernels import (
+    apply_matrix_batch,
+    apply_matrix_generic,
+    apply_matrix_state,
+)
 from .observables import (
     expectation_value,
     parity_expectation_from_counts,
@@ -10,7 +21,11 @@ from .observables import (
 )
 from .density import DensityMatrix, DensityMatrixSimulator
 from .statevector import Statevector, bitstring_to_index, format_bitstring
-from .trajectory import TrajectorySimulator, run_counts
+from .trajectory import (
+    TrajectorySimulator,
+    measures_are_terminal,
+    run_counts,
+)
 from .unitary import (
     circuit_unitary,
     circuits_equivalent,
@@ -25,7 +40,13 @@ __all__ = [
     "format_bitstring",
     "bitstring_to_index",
     "Counts",
+    "counts_from_outcomes",
+    "remap_bits",
+    "apply_matrix_batch",
+    "apply_matrix_generic",
+    "apply_matrix_state",
     "TrajectorySimulator",
+    "measures_are_terminal",
     "run_counts",
     "DensityMatrix",
     "DensityMatrixSimulator",

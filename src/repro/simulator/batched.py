@@ -22,15 +22,15 @@ property tests in ``tests/simulator`` check the agreement.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..noise.model import NoiseModel
-from .counts import Counts
-from .statevector import format_bitstring
-from .trajectory import TrajectorySimulator, _measures_are_terminal
+from .counts import Counts, counts_from_outcomes, remap_bits
+from .kernels import apply_matrix_batch
+from .trajectory import TrajectorySimulator, measures_are_terminal
 
 __all__ = ["BatchedTrajectorySimulator", "run_counts_batched"]
 
@@ -59,7 +59,7 @@ class BatchedTrajectorySimulator:
     def run(self, circuit: QuantumCircuit, shots: int = 1000) -> Counts:
         if shots <= 0:
             raise ValueError("shots must be positive")
-        if not _measures_are_terminal(circuit):
+        if not measures_are_terminal(circuit):
             fallback = TrajectorySimulator(self.noise_model, self._rng)
             return fallback.run(circuit, shots)
         n = circuit.num_qubits
@@ -73,7 +73,7 @@ class BatchedTrajectorySimulator:
             if inst.is_measure:
                 measured.append((inst.qubits[0], inst.clbits[0]))
                 continue
-            batch = _apply_matrix_batch(
+            batch = apply_matrix_batch(
                 batch, inst.operation.matrix, inst.qubits
             )
             if self.noise_model is not None:
@@ -91,12 +91,10 @@ class BatchedTrajectorySimulator:
     ) -> np.ndarray:
         operators = channel.kraus_operators
         if len(operators) == 1:
-            return _apply_matrix_batch(batch, operators[0], qubits)
+            return apply_matrix_batch(batch, operators[0], qubits)
         shots = batch.shape[0]
         mixed = getattr(channel, "mixed_unitary_probs", None)
-        identity_flags = getattr(
-            channel, "scalar_identity_flags", [False] * len(operators)
-        )
+        identity_flags = _identity_flags_for(channel, operators)
         if mixed is not None:
             branches = self._rng.choice(
                 len(operators), size=shots, p=np.asarray(mixed) / sum(mixed)
@@ -108,9 +106,9 @@ class BatchedTrajectorySimulator:
                 op = operators[index] / np.sqrt(weight)
                 mask = branches == index
                 if mask.all():
-                    batch = _apply_matrix_batch(batch, op, qubits)
+                    batch = apply_matrix_batch(batch, op, qubits)
                 else:
-                    batch[mask] = _apply_matrix_batch(
+                    batch[mask] = apply_matrix_batch(
                         batch[mask], op, qubits
                     )
             return batch
@@ -143,13 +141,16 @@ class BatchedTrajectorySimulator:
             # common case under weak noise: every shot takes the same
             # branch; apply in one pass without gather/scatter copies
             index = int(unique_branches[0])
-            out = _apply_matrix_batch(batch, operators[index], qubits)
-            out *= scale
+            out = apply_matrix_batch(batch, operators[index], qubits)
+            if out is batch:
+                out = batch * scale
+            else:
+                out *= scale
             return out
         out = np.empty_like(batch)
         for index in unique_branches:
             mask = branches == index
-            out[mask] = _apply_matrix_batch(
+            out[mask] = apply_matrix_batch(
                 batch[mask], operators[index], qubits
             )
         out *= scale
@@ -193,19 +194,11 @@ class BatchedTrajectorySimulator:
         shots: int,
     ) -> Counts:
         if measured:
-            num_clbits = max(circuit.num_clbits, 1)
-            mapped = np.zeros_like(outcomes)
-            for qubit, clbit in measured:
-                mapped |= ((outcomes >> qubit) & 1) << clbit
-            outcomes, width = mapped, num_clbits
+            outcomes = remap_bits(outcomes, measured)
+            width = max(circuit.num_clbits, 1)
         else:
             width = n
-        values, frequencies = np.unique(outcomes, return_counts=True)
-        histogram: Dict[str, int] = {
-            format_bitstring(int(v), width): int(c)
-            for v, c in zip(values, frequencies)
-        }
-        return Counts(histogram, shots=shots)
+        return counts_from_outcomes(outcomes, width, shots=shots)
 
 
 def _reduced_density_batch(
@@ -241,82 +234,26 @@ def _reduced_density_batch(
     return np.einsum("sir,sjr->sij", flat, flat.conj())
 
 
-_SWAP2 = np.array(
-    [
-        [1, 0, 0, 0],
-        [0, 0, 1, 0],
-        [0, 1, 0, 0],
-        [0, 0, 0, 1],
-    ],
-    dtype=complex,
-)
+def _identity_flags_for(channel, operators) -> Sequence[bool]:
+    """Per-operator "proportional to identity" flags for *channel*.
 
-
-def _is_identity(matrix: np.ndarray) -> bool:
-    return bool(
-        np.allclose(matrix, np.eye(matrix.shape[0]), atol=1e-12)
-    )
-
-
-def _apply_matrix_batch(
-    batch: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]
-) -> np.ndarray:
-    """Apply a k-qubit matrix to the shot batch.
-
-    Fast paths for 1- and 2-qubit gates use reshape *views* (the batch
-    tensor is C-contiguous, so grouping adjacent qubit axes is free)
-    and a single einsum pass — roughly 3x fewer 65-MB copies than the
-    generic tensordot route, which matters at 12 qubits x 1000 shots.
+    :class:`~repro.noise.channels.QuantumChannel` resolves these once
+    at construction; for foreign channel objects without the attribute
+    the flags are derived from the operators here (never a fresh
+    mutable all-False list — an all-False fallback silently disabled
+    the no-op branch skipping for such channels).
     """
-    matrix = np.asarray(matrix)
-    if _is_identity(matrix):
-        return batch
-    matrix = matrix.astype(batch.dtype, copy=False)
-    shots = batch.shape[0]
-    n = batch.ndim - 1
-    if len(qubits) == 1 and batch.flags.c_contiguous:
-        q = qubits[0]
-        left = 2 ** q
-        right = 2 ** (n - 1 - q)
-        # one large GEMM: move the gate axis to the front, contract,
-        # move back.  Broadcasted per-shot matmuls are ~10x slower.
-        view = batch.reshape(shots * left, 2, right)
-        stacked = np.ascontiguousarray(view.transpose(1, 0, 2)).reshape(
-            2, -1
+    flags = getattr(channel, "scalar_identity_flags", None)
+    if flags is not None:
+        return flags
+    dim = operators[0].shape[0]
+    return tuple(
+        bool(
+            abs(op[0, 0]) > 1e-12
+            and np.allclose(op, op[0, 0] * np.eye(dim), atol=1e-12)
         )
-        out = (matrix @ stacked).reshape(2, shots * left, right)
-        out = np.ascontiguousarray(out.transpose(1, 0, 2))
-        return out.reshape(batch.shape)
-    if len(qubits) == 2 and batch.flags.c_contiguous:
-        qa, qb = qubits
-        if qa > qb:
-            # normalise to ascending axis order by conjugating with SWAP
-            matrix = (_SWAP2 @ matrix @ _SWAP2).astype(
-                batch.dtype, copy=False
-            )
-            qa, qb = qb, qa
-        left = 2 ** qa
-        mid = 2 ** (qb - qa - 1)
-        right = 2 ** (n - 1 - qb)
-        view = batch.reshape(shots * left, 2, mid, 2, right)
-        stacked = np.ascontiguousarray(
-            view.transpose(1, 3, 0, 2, 4)
-        ).reshape(4, -1)
-        out = (matrix @ stacked).reshape(
-            2, 2, shots * left, mid, right
-        )
-        out = np.ascontiguousarray(out.transpose(2, 0, 3, 1, 4))
-        return out.reshape(batch.shape)
-    # generic path (3+ qubit gates, or non-contiguous batches)
-    k = len(qubits)
-    reshaped = matrix.reshape((2,) * (2 * k))
-    target_axes = [q + 1 for q in qubits]
-    moved = np.tensordot(
-        reshaped, batch, axes=(list(range(k, 2 * k)), target_axes)
+        for op in operators
     )
-    # tensordot puts gate row axes first and the batch axis after them
-    moved = np.moveaxis(moved, k, 0)
-    return np.moveaxis(moved, range(1, k + 1), target_axes)
 
 
 def run_counts_batched(

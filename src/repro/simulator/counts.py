@@ -1,10 +1,12 @@
-"""Measurement counts container."""
+"""Measurement counts container and vectorised histogram helpers."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Counts"]
+import numpy as np
+
+__all__ = ["Counts", "counts_from_outcomes", "remap_bits"]
 
 
 class Counts(dict):
@@ -74,3 +76,41 @@ class Counts(dict):
         """The *n* most frequent outcomes, descending."""
         ordered = sorted(self.items(), key=lambda kv: (-kv[1], kv[0]))
         return tuple(ordered[:n])
+
+
+def remap_bits(
+    outcomes: np.ndarray, bit_map: Sequence[Tuple[int, int]]
+) -> np.ndarray:
+    """Vectorised bit gather: move bit ``src`` to bit ``dst`` per pair.
+
+    *outcomes* is an integer array of little-endian basis indices;
+    *bit_map* lists ``(src, dst)`` positions (a measured-qubit ->
+    clbit mapping, or a qubit-subset selection).  Bits not named as a
+    destination are zero.  The loop runs over the (small) bit map, not
+    over the shots.
+    """
+    outcomes = np.asarray(outcomes, dtype=np.int64)
+    mapped = np.zeros_like(outcomes)
+    for src, dst in bit_map:
+        mapped |= ((outcomes >> src) & 1) << dst
+    return mapped
+
+
+def counts_from_outcomes(
+    outcomes: np.ndarray, num_bits: int, shots: Optional[int] = None
+) -> Counts:
+    """Histogram an integer outcome array into a :class:`Counts`.
+
+    Replaces per-shot Python loops with one ``np.unique`` pass —
+    at typical shot counts (1000+) this is the difference between
+    microseconds and milliseconds per circuit.
+    """
+    values, frequencies = np.unique(np.asarray(outcomes), return_counts=True)
+    width = max(int(num_bits), 1)
+    return Counts(
+        {
+            format(int(v), f"0{width}b"): int(c)
+            for v, c in zip(values, frequencies)
+        },
+        shots=shots,
+    )

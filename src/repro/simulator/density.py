@@ -9,15 +9,16 @@ operators are trivial.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..noise.channels import QuantumChannel
 from ..noise.model import NoiseModel
-from .counts import Counts
-from .statevector import Statevector, format_bitstring
+from .counts import Counts, counts_from_outcomes
+from .kernels import apply_matrix_state
+from .statevector import Statevector
 
 __all__ = ["DensityMatrix", "DensityMatrixSimulator"]
 
@@ -51,7 +52,9 @@ class DensityMatrix:
         # row and column groups to get axis i = qubit i
         row_axes = tuple(reversed(range(n)))
         col_axes = tuple(reversed(range(n, 2 * n)))
-        return tensor.transpose(row_axes + col_axes)
+        # contiguous so the shared 1q/2q kernels can take their fast
+        # reshape-view paths
+        return np.ascontiguousarray(tensor.transpose(row_axes + col_axes))
 
     def to_matrix(self) -> np.ndarray:
         """Little-endian ``2^n x 2^n`` matrix."""
@@ -71,20 +74,14 @@ class DensityMatrix:
         self, matrix: np.ndarray, qubits: Sequence[int]
     ) -> "DensityMatrix":
         """rho -> U rho U^dagger on *qubits*."""
-        k = len(qubits)
         n = self.num_qubits
-        mat = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
-        # left multiply on row axes
-        moved = np.tensordot(
-            mat, self._tensor, axes=(list(range(k, 2 * k)), list(qubits))
-        )
-        self._tensor = np.moveaxis(moved, range(k), qubits)
-        # right multiply (conjugate) on column axes
+        mat = np.asarray(matrix, dtype=complex)
+        # the (2,)*2n tensor is treated as a 2n-axis state: left
+        # multiply on the row axes, conjugate on the column axes —
+        # both through the shared kernels
+        tensor = apply_matrix_state(self._tensor, mat, list(qubits))
         col_axes = [n + q for q in qubits]
-        moved = np.tensordot(
-            mat.conj(), self._tensor, axes=(list(range(k, 2 * k)), col_axes)
-        )
-        self._tensor = np.moveaxis(moved, range(k), col_axes)
+        self._tensor = apply_matrix_state(tensor, mat.conj(), col_axes)
         return self
 
     def apply_channel(
@@ -164,17 +161,15 @@ class DensityMatrixSimulator:
         self,
         circuit: QuantumCircuit,
         shots: int,
-        seed: Optional[int] = None,
+        seed: Optional[Union[int, np.random.Generator]] = None,
     ) -> Counts:
         """Sample *shots* outcomes from the exact distribution."""
         probs = self.output_distribution(circuit)
         rng = np.random.default_rng(seed)
         outcomes = rng.choice(len(probs), size=shots, p=probs)
-        histogram: Dict[str, int] = {}
-        for outcome in outcomes:
-            key = format_bitstring(int(outcome), circuit.num_qubits)
-            histogram[key] = histogram.get(key, 0) + 1
-        return Counts(histogram, shots=shots)
+        return counts_from_outcomes(
+            outcomes, circuit.num_qubits, shots=shots
+        )
 
 
 def _apply_bit_stochastic(

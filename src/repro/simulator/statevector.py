@@ -22,6 +22,8 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import Gate
+from .counts import counts_from_outcomes, remap_bits
+from .kernels import apply_matrix_state
 
 __all__ = ["Statevector", "format_bitstring", "bitstring_to_index"]
 
@@ -136,13 +138,8 @@ class Statevector:
             raise ValueError("duplicate qubits")
         if k == 0:
             return self
-        reshaped = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
-        # contract the column axes (k..2k-1) with the target qubit axes;
-        # tensordot moves the result's gate axes to the front in row order
-        moved = np.tensordot(
-            reshaped, self._tensor, axes=(list(range(k, 2 * k)), list(qubits))
-        )
-        self._tensor = np.moveaxis(moved, range(k), qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        self._tensor = apply_matrix_state(self._tensor, matrix, qubits)
         return self
 
     def apply_gate(self, gate: Gate, qubits: Sequence[int]) -> "Statevector":
@@ -205,19 +202,14 @@ class Statevector:
         probs = self.probabilities()
         probs = probs / probs.sum()
         outcomes = rng.choice(len(probs), size=shots, p=probs)
-        counts: Dict[str, int] = {}
+        # vectorised histogram: one np.unique pass (plus a bit-gather
+        # when marginalising onto a qubit subset), no per-shot loop
         if qubits is None:
-            for outcome in outcomes:
-                key = format_bitstring(int(outcome), self.num_qubits)
-                counts[key] = counts.get(key, 0) + 1
-            return counts
-        for outcome in outcomes:
-            reduced = 0
-            for position, q in enumerate(qubits):
-                reduced |= ((int(outcome) >> q) & 1) << position
-            key = format_bitstring(reduced, len(qubits))
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+            return counts_from_outcomes(outcomes, self.num_qubits)
+        bit_map = [(q, position) for position, q in enumerate(qubits)]
+        return counts_from_outcomes(
+            remap_bits(outcomes, bit_map), len(qubits)
+        )
 
     def most_probable_bitstring(self) -> str:
         """The highest-probability outcome (ties -> lowest index)."""

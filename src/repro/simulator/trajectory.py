@@ -19,10 +19,10 @@ import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..noise.model import NoiseModel
-from .counts import Counts
+from .counts import Counts, counts_from_outcomes, remap_bits
 from .statevector import Statevector, format_bitstring
 
-__all__ = ["TrajectorySimulator", "run_counts"]
+__all__ = ["TrajectorySimulator", "measures_are_terminal", "run_counts"]
 
 
 class TrajectorySimulator:
@@ -50,7 +50,7 @@ class TrajectorySimulator:
         if shots <= 0:
             raise ValueError("shots must be positive")
         noiseless = self.noise_model is None or self.noise_model.is_trivial()
-        if noiseless and _measures_are_terminal(circuit):
+        if noiseless and measures_are_terminal(circuit):
             return self._run_fast(circuit, shots)
         return self._run_trajectories(circuit, shots)
 
@@ -68,15 +68,12 @@ class TrajectorySimulator:
             return Counts(raw, shots=shots)
         probs = state.probabilities()
         outcomes = self._rng.choice(len(probs), size=shots, p=probs / probs.sum())
-        num_clbits = max(circuit.num_clbits, 1)
-        histogram: Dict[str, int] = {}
-        for outcome in outcomes:
-            bits = 0
-            for qubit, clbit in measured:
-                bits |= ((int(outcome) >> qubit) & 1) << clbit
-            key = format_bitstring(bits, num_clbits)
-            histogram[key] = histogram.get(key, 0) + 1
-        return Counts(histogram, shots=shots)
+        # vectorised qubit -> clbit gather plus one np.unique histogram
+        # instead of a Python loop over every shot
+        mapped = remap_bits(outcomes, measured)
+        return counts_from_outcomes(
+            mapped, max(circuit.num_clbits, 1), shots=shots
+        )
 
     # ------------------------------------------------------------------
     def _run_trajectories(self, circuit: QuantumCircuit, shots: int) -> Counts:
@@ -176,8 +173,13 @@ class TrajectorySimulator:
         return error.apply(outcome, self._rng)
 
 
-def _measures_are_terminal(circuit: QuantumCircuit) -> bool:
-    """True when no gate follows a measurement on any qubit."""
+def measures_are_terminal(circuit: QuantumCircuit) -> bool:
+    """True when no gate follows a measurement on any qubit.
+
+    The execution layer's dispatch rule: terminal-measure circuits can
+    be sampled from one final state (statevector / batched engines);
+    mid-circuit measurement forces per-shot collapse.
+    """
     measured = set()
     for inst in circuit:
         if inst.is_measure:
@@ -185,6 +187,10 @@ def _measures_are_terminal(circuit: QuantumCircuit) -> bool:
         elif inst.is_gate and measured.intersection(inst.qubits):
             return False
     return True
+
+
+# backwards-compatible alias (pre-execution-layer name)
+_measures_are_terminal = measures_are_terminal
 
 
 def run_counts(

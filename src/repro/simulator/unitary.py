@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from .statevector import Statevector
+from .kernels import apply_matrix_batch
 
 __all__ = [
     "circuit_unitary",
@@ -32,13 +32,26 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
     """
     if circuit.has_measurements():
         raise ValueError("cannot build a unitary for a measured circuit")
-    dim = 2 ** circuit.num_qubits
-    unitary = np.empty((dim, dim), dtype=complex)
-    for k in range(dim):
-        state = Statevector.from_basis_state(circuit.num_qubits, k)
-        state.evolve(circuit)
-        unitary[:, k] = state.to_vector()
-    return unitary
+    n = circuit.num_qubits
+    dim = 2 ** n
+    # evolve all basis states at once as a (dim, 2, ..., 2) batch —
+    # one kernel pass per gate instead of one full evolution per column
+    eye = np.eye(dim, dtype=complex).reshape((dim,) + (2,) * n)
+    if n:
+        # reshape of row k yields big-endian qubit axes; flip to the
+        # batch layout (axis i+1 = qubit i)
+        eye = eye.transpose((0,) + tuple(range(n, 0, -1)))
+    batch = np.ascontiguousarray(eye)
+    for inst in circuit:
+        if inst.is_gate:
+            batch = apply_matrix_batch(
+                batch, inst.operation.matrix, inst.qubits
+            )
+    if n:
+        batch = batch.transpose((0,) + tuple(range(n, 0, -1)))
+    # row k is the little-endian output vector for input |k>; the
+    # unitary wants it as column k
+    return np.ascontiguousarray(batch.reshape(dim, dim).T)
 
 
 def equal_up_to_global_phase(

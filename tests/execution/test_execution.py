@@ -1,0 +1,228 @@
+"""The unified execution layer: registry, dispatch, cross-engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.execution import (
+    available_engines,
+    get_engine,
+    register_engine,
+    run,
+    select_engine,
+    unregister_engine,
+)
+from repro.metrics import tvd
+from repro.noise import depolarizing, fake_valencia
+from repro.noise.model import NoiseModel
+from repro.simulator import DensityMatrixSimulator
+
+
+def _terminal_circuit():
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1).measure_all()
+    return qc
+
+
+def _mid_circuit():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0).measure(0, 0).x(0).measure(0, 1)
+    return qc
+
+
+def _noise():
+    model = NoiseModel("depol")
+    model.add_all_qubit_quantum_error(depolarizing(0.02), ["h", "x", "cx"])
+    return model
+
+
+class TestRegistry:
+    def test_builtin_engines_present(self):
+        assert set(available_engines()) >= {
+            "statevector",
+            "trajectory",
+            "batched",
+            "density",
+        }
+
+    def test_get_engine_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown engine"):
+            get_engine("stabilizer")
+
+    def test_register_and_unregister_custom_engine(self):
+        class FakeEngine:
+            name = "fake"
+
+            def supports(self, circuit, noise_model=None):
+                return True
+
+            def run(self, circuit, shots, *, noise_model=None,
+                    seed=None, dtype=None):
+                from repro.simulator import Counts
+
+                return Counts({"0" * circuit.num_qubits: shots},
+                              shots=shots)
+
+        try:
+            register_engine(FakeEngine())
+            assert "fake" in available_engines()
+            counts = run(_terminal_circuit(), 10, method="fake")
+            assert counts == {"00": 10}
+        finally:
+            unregister_engine("fake")
+        assert "fake" not in available_engines()
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(get_engine("batched"), name="batched")
+
+    def test_register_requires_name(self):
+        class Nameless:
+            pass
+
+        with pytest.raises(ValueError, match="name"):
+            register_engine(Nameless())
+
+
+class TestDispatch:
+    def test_noiseless_terminal_uses_statevector(self):
+        assert select_engine(_terminal_circuit()) == "statevector"
+
+    def test_trivial_noise_model_counts_as_noiseless(self):
+        assert (
+            select_engine(_terminal_circuit(), noise_model=NoiseModel())
+            == "statevector"
+        )
+
+    def test_noisy_terminal_uses_batched(self):
+        assert (
+            select_engine(_terminal_circuit(), noise_model=_noise())
+            == "batched"
+        )
+
+    def test_mid_circuit_uses_trajectory(self):
+        assert select_engine(_mid_circuit()) == "trajectory"
+        assert (
+            select_engine(_mid_circuit(), noise_model=_noise())
+            == "trajectory"
+        )
+
+    def test_reduced_precision_steers_to_batched(self):
+        assert (
+            select_engine(_terminal_circuit(), dtype=np.complex64)
+            == "batched"
+        )
+
+    def test_full_precision_keeps_statevector(self):
+        assert (
+            select_engine(_terminal_circuit(), dtype=np.complex128)
+            == "statevector"
+        )
+
+    def test_density_never_auto_selected_but_explicit(self):
+        counts = run(
+            _terminal_circuit(), 200, method="density", seed=0
+        )
+        assert counts.shots == 200
+
+    def test_invalid_shots(self):
+        with pytest.raises(ValueError, match="shots"):
+            run(_terminal_circuit(), 0)
+
+    def test_statevector_rejects_noise(self):
+        engine = get_engine("statevector")
+        with pytest.raises(ValueError, match="noiseless"):
+            engine.run(_terminal_circuit(), 10, noise_model=_noise())
+
+    def test_statevector_rejects_mid_circuit(self):
+        engine = get_engine("statevector")
+        with pytest.raises(ValueError, match="terminal"):
+            engine.run(_mid_circuit(), 10)
+
+    def test_exact_engines_reject_reduced_precision(self):
+        for name in ("statevector", "trajectory", "density"):
+            with pytest.raises(ValueError, match="complex128"):
+                run(
+                    _terminal_circuit(), 10,
+                    method=name, dtype=np.complex64,
+                )
+
+    def test_mid_circuit_reduced_precision_is_rejected_loudly(self):
+        """No engine can honour complex64 with mid-circuit measurement
+        — dispatch must refuse rather than silently upcast."""
+        with pytest.raises(ValueError, match="mid-circuit"):
+            run(_mid_circuit(), 10, dtype=np.complex64)
+        with pytest.raises(ValueError, match="mid-circuit"):
+            run(_mid_circuit(), 10, method="batched", dtype=np.complex64)
+
+    def test_batched_honours_dtype(self):
+        counts = run(
+            _terminal_circuit(), 500,
+            method="batched", seed=1, dtype=np.complex128,
+        )
+        assert set(counts) <= {"00", "11"}
+        assert counts.shots == 500
+
+
+class TestCrossEngineAgreement:
+    """Seeded random circuits through every engine must agree within
+    shot noise (the dispatch layer must never change statistics)."""
+
+    SHOTS = 4000
+
+    def _exact_reference(self, circuit, noise_model=None):
+        probs = DensityMatrixSimulator(noise_model).output_distribution(
+            circuit
+        )
+        n = circuit.num_qubits
+        return {format(i, f"0{n}b"): p for i, p in enumerate(probs)}
+
+    @pytest.mark.parametrize("circuit_seed", [3, 17])
+    def test_noiseless_engines_agree(self, circuit_seed):
+        circuit = random_circuit(
+            3, 8, gate_pool=["h", "x", "t", "cx", "cz"],
+            seed=circuit_seed,
+        )
+        reference = self._exact_reference(circuit)
+        circuit = circuit.measure_all()
+        for method in ("statevector", "trajectory", "batched", "density"):
+            counts = run(
+                circuit, self.SHOTS, method=method, seed=42
+            )
+            distance = tvd(counts.probabilities(), reference)
+            assert distance < 0.05, (method, distance)
+
+    def test_noisy_engines_agree(self):
+        noise = _noise()
+        circuit = random_circuit(
+            3, 6, gate_pool=["h", "x", "cx"], seed=8
+        )
+        reference = self._exact_reference(circuit, noise)
+        circuit = circuit.measure_all()
+        for method in ("trajectory", "batched", "density"):
+            counts = run(
+                circuit, self.SHOTS, method=method,
+                noise_model=noise, seed=7,
+            )
+            distance = tvd(counts.probabilities(), reference)
+            assert distance < 0.05, (method, distance)
+
+    def test_auto_matches_explicit_statistics(self):
+        """Auto dispatch runs the same engine the explicit name does."""
+        circuit = _terminal_circuit()
+        auto = run(circuit, 1000, seed=5)
+        explicit = run(circuit, 1000, method="statevector", seed=5)
+        assert auto == explicit
+
+    def test_valencia_noise_cross_engine(self):
+        noise = fake_valencia().noise_model()
+        circuit = QuantumCircuit(2)
+        circuit.h(0).cx(0, 1).measure_all()
+        reference = run(
+            circuit, 8000, method="density", noise_model=noise, seed=0
+        )
+        batched = run(
+            circuit, 8000, method="batched", noise_model=noise, seed=1
+        )
+        assert tvd(reference.probabilities(),
+                   batched.probabilities()) < 0.04

@@ -1,0 +1,79 @@
+"""Parallel suite mode: jobs-independent, bit-identical aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_benchmark, run_suite
+from repro.revlib.benchmarks import load_benchmark
+
+
+def _records():
+    return [load_benchmark("4gt13"), load_benchmark("one_bit_adder")]
+
+
+def _fingerprint(results):
+    """Every per-iteration histogram and metric, in deterministic order."""
+    out = []
+    for name in sorted(results):
+        for it in results[name].iterations:
+            out.append(
+                (
+                    name,
+                    sorted(it.counts_original.items()),
+                    sorted(it.counts_obfuscated.items()),
+                    sorted(it.counts_restored.items()),
+                    it.expected_bitstring,
+                    it.inserted_gates,
+                )
+            )
+    return out
+
+
+class TestParallelSuite:
+    def test_jobs_do_not_change_results(self):
+        sequential = run_suite(
+            _records(), iterations=2, shots=150, seed=13, jobs=1
+        )
+        parallel = run_suite(
+            _records(), iterations=2, shots=150, seed=13, jobs=2
+        )
+        assert _fingerprint(sequential) == _fingerprint(parallel)
+
+    def test_fixed_seed_is_reproducible(self):
+        one = run_suite(_records()[:1], iterations=2, shots=100, seed=3)
+        two = run_suite(_records()[:1], iterations=2, shots=100, seed=3)
+        assert _fingerprint(one) == _fingerprint(two)
+
+    def test_different_seeds_differ(self):
+        one = run_suite(_records()[:1], iterations=2, shots=100, seed=3)
+        two = run_suite(_records()[:1], iterations=2, shots=100, seed=4)
+        assert _fingerprint(one) != _fingerprint(two)
+
+    def test_iteration_count_and_names(self):
+        results = run_suite(
+            _records(), iterations=3, shots=50, seed=1, jobs=2
+        )
+        assert set(results) == {"4gt13", "one_bit_adder"}
+        for aggregate in results.values():
+            assert len(aggregate.iterations) == 3
+
+    def test_run_benchmark_delegates(self):
+        record = _records()[0]
+        aggregate = run_benchmark(
+            record, iterations=2, shots=100, seed=9, jobs=2
+        )
+        assert aggregate.name == "4gt13"
+        assert len(aggregate.iterations) == 2
+        # matches the suite path with the same parameters
+        via_suite = run_suite(
+            [record], iterations=2, shots=100, seed=9, jobs=1
+        )["4gt13"]
+        assert _fingerprint({"4gt13": aggregate}) == _fingerprint(
+            {"4gt13": via_suite}
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            run_suite(_records(), iterations=0)
+        with pytest.raises(ValueError):
+            run_suite(_records(), jobs=0)

@@ -133,3 +133,35 @@ class TestCounts:
     def test_top(self):
         counts = Counts({"00": 1, "01": 5, "10": 3})
         assert counts.top(2) == (("01", 5), ("10", 3))
+
+
+class TestHistogramHelpers:
+    """Vectorised histogram building shared by every engine."""
+
+    def test_counts_from_outcomes(self):
+        from repro.simulator import counts_from_outcomes
+
+        counts = counts_from_outcomes(
+            np.array([0, 3, 3, 1]), num_bits=2, shots=4
+        )
+        assert counts == {"00": 1, "11": 2, "01": 1}
+        assert counts.shots == 4
+
+    def test_counts_from_outcomes_zero_width(self):
+        from repro.simulator import counts_from_outcomes
+
+        assert counts_from_outcomes(np.array([0, 0]), 0) == {"0": 2}
+
+    def test_remap_bits(self):
+        from repro.simulator import remap_bits
+
+        outcomes = np.array([0b101, 0b010])
+        mapped = remap_bits(outcomes, [(0, 1), (2, 0)])
+        assert mapped.tolist() == [0b11, 0b00]
+
+    def test_remap_bits_narrow_dtype_widened(self):
+        """Shifts must happen in int64 even for narrow input arrays."""
+        from repro.simulator import remap_bits
+
+        mapped = remap_bits(np.array([1], dtype=np.uint8), [(0, 8)])
+        assert mapped.tolist() == [256]
