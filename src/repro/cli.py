@@ -13,6 +13,9 @@ design before sending it to third-party compilers:
 * ``simulate`` — run a circuit through the unified execution layer
   (:func:`repro.execution.run`), optionally under the Valencia-style
   noise model, with engine and precision selection.
+* ``transpile`` — compile a circuit for a device through the preset
+  pass schedule and report per-pass wall times plus transpile-cache
+  statistics (``--no-transpile-cache`` forces a fresh compile).
 * ``table1`` / ``figure4`` / ``attack`` — shortcut to the experiment
   harnesses (extra flags such as ``--jobs`` pass straight through).
 """
@@ -168,6 +171,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_transpile(args: argparse.Namespace) -> int:
+    from .transpiler import CouplingMap, get_transpile_cache, transpile
+
+    circuit = _load_circuit(args.circuit)
+    backend = None
+    coupling = None
+    size = args.size or max(circuit.num_qubits, 2)
+    if args.coupling == "valencia":
+        backend = valencia_like_backend(size)
+    elif args.coupling == "line":
+        coupling = CouplingMap.line(size)
+    elif args.coupling == "ring":
+        coupling = CouplingMap.ring(size)
+    else:
+        coupling = CouplingMap.full(size)
+    use_cache = None if not args.no_transpile_cache else False
+    try:
+        result = transpile(
+            circuit,
+            backend=backend,
+            coupling=coupling,
+            layout_method=args.layout,
+            optimization_level=args.level,
+            use_cache=use_cache,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"size:  {circuit.size()} -> {result.size}   "
+          f"depth: {circuit.depth()} -> {result.depth}   "
+          f"swaps: {result.swap_count}")
+    print(f"initial layout: {result.initial_layout}")
+    print(f"final layout:   {result.final_layout}")
+    print("pass timings"
+          + ("  (from cache; timings are the original compile's)"
+             if result.from_cache else "") + ":")
+    for name, seconds in result.pass_timings.items():
+        print(f"  {name:<22s} {seconds * 1e3:8.3f} ms")
+    print(f"  {'total':<22s} {result.compile_seconds * 1e3:8.3f} ms")
+    stats = get_transpile_cache().stats()
+    print(f"transpile cache: {stats.size}/{stats.maxsize} entries, "
+          f"{stats.hits} hit(s), {stats.misses} miss(es)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TetrisLock split compilation toolkit"
@@ -213,6 +261,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     simulate.add_argument("--top", type=int, default=5,
                           help="outcomes to print")
     simulate.set_defaults(func=_cmd_simulate)
+
+    transpile_cmd = sub.add_parser(
+        "transpile",
+        help="compile a circuit and report per-pass timings",
+    )
+    transpile_cmd.add_argument("circuit", help=".qasm or .real input")
+    transpile_cmd.add_argument(
+        "--coupling", default="valencia",
+        choices=("valencia", "line", "ring", "full"),
+        help="target topology (default: Valencia-style backend)",
+    )
+    transpile_cmd.add_argument(
+        "--size", type=int, default=None,
+        help="device qubit count (default: circuit size)",
+    )
+    transpile_cmd.add_argument(
+        "--layout", default="greedy", choices=("greedy", "trivial")
+    )
+    transpile_cmd.add_argument("--level", type=int, default=1,
+                               help="optimization level 0-3")
+    transpile_cmd.add_argument(
+        "--no-transpile-cache", action="store_true",
+        help="bypass the transpile cache for this compile",
+    )
+    transpile_cmd.set_defaults(func=_cmd_transpile)
 
     for name, module in [
         ("table1", "table1"),

@@ -83,6 +83,8 @@ def generate_figure4(
     benchmarks: Optional[Sequence[str]] = None,
     results: Optional[Dict[str, AggregateResult]] = None,
     jobs: int = 1,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
 ) -> Dict[str, Dict[str, TvdSeries]]:
     """Compute TVD distributions; reuses Table I results when given."""
     if results is None:
@@ -92,6 +94,8 @@ def generate_figure4(
             seed=seed,
             benchmarks=benchmarks,
             jobs=jobs,
+            split_jobs=split_jobs,
+            transpile_cache=transpile_cache,
         )
     figure: Dict[str, Dict[str, TvdSeries]] = {}
     for name, aggregate in results.items():
@@ -133,6 +137,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="parallel workers (deterministic for a fixed seed)",
     )
+    parser.add_argument(
+        "--split-jobs", type=int, default=1,
+        help="pipelined split-compilation threads per iteration",
+    )
+    parser.add_argument(
+        "--no-transpile-cache", action="store_true",
+        help="recompile every iteration instead of reusing results",
+    )
     args = parser.parse_args(argv)
     figure = generate_figure4(
         iterations=args.iterations,
@@ -140,6 +152,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         benchmarks=args.benchmarks,
         jobs=args.jobs,
+        split_jobs=args.split_jobs,
+        transpile_cache=not args.no_transpile_cache,
     )
     print(render_figure4(figure))
     return 0

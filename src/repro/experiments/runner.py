@@ -92,6 +92,8 @@ def _evaluate_record(
     shots: int,
     gate_limit: int,
     seed: np.random.SeedSequence,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
 ) -> EvaluationResult:
     """One pipeline iteration — a pure function of its arguments.
 
@@ -101,6 +103,8 @@ def _evaluate_record(
         shots=shots,
         gate_limit=gate_limit,
         seed=np.random.default_rng(seed),
+        split_jobs=split_jobs,
+        use_transpile_cache=transpile_cache,
     )
     return pipeline.evaluate(
         record.circuit(),
@@ -116,12 +120,21 @@ def run_suite(
     seed: Optional[int] = None,
     gate_limit: int = 4,
     jobs: int = 1,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
 ) -> Dict[str, AggregateResult]:
     """Run the pipeline over a benchmark suite (defaults to Table I).
 
     *jobs* > 1 fans the (benchmark, iteration) grid out over a process
     pool.  Per-task seeds come from ``SeedSequence(seed).spawn``, so
     the aggregates are identical for any *jobs* value.
+
+    *split_jobs* > 1 additionally pipelines each iteration's split
+    compilation (segment 1 compiles on a worker thread while the
+    obfuscated-circuit simulation runs); *transpile_cache* toggles the
+    per-process transpile cache that lets repeated iterations over the
+    same benchmark skip recompilation.  Neither affects any result —
+    compilation is deterministic and RNG-free.
     """
     if iterations <= 0:
         raise ValueError("iterations must be positive")
@@ -138,7 +151,9 @@ def run_suite(
     task_records = [r for r in records for _ in range(iterations)]
     if jobs == 1 or len(task_records) <= 1:
         evaluations = [
-            _evaluate_record(r, shots, gate_limit, s)
+            _evaluate_record(
+                r, shots, gate_limit, s, split_jobs, transpile_cache
+            )
             for r, s in zip(task_records, children)
         ]
     else:
@@ -153,6 +168,8 @@ def run_suite(
                     repeat(shots),
                     repeat(gate_limit),
                     children,
+                    repeat(split_jobs),
+                    repeat(transpile_cache),
                 )
             )
     results: Dict[str, AggregateResult] = {}
@@ -171,6 +188,8 @@ def run_benchmark(
     seed: Optional[int] = None,
     gate_limit: int = 4,
     jobs: int = 1,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
 ) -> AggregateResult:
     """Run the full pipeline *iterations* times on one benchmark."""
     return run_suite(
@@ -180,4 +199,6 @@ def run_benchmark(
         seed=seed,
         gate_limit=gate_limit,
         jobs=jobs,
+        split_jobs=split_jobs,
+        transpile_cache=transpile_cache,
     )[record.name]

@@ -47,17 +47,27 @@ def generate_table1(
     seed: Optional[int] = 2025,
     benchmarks: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
 ) -> Dict[str, AggregateResult]:
     """Compute all Table I rows; returns name -> aggregate.
 
-    *jobs* parallelises the (benchmark, iteration) grid; results are
-    identical for a fixed seed whatever the worker count.
+    *jobs* parallelises the (benchmark, iteration) grid; *split_jobs*
+    pipelines each iteration's split compilation; *transpile_cache*
+    toggles compile reuse across iterations.  Results are identical for
+    a fixed seed whatever the settings.
     """
     records = paper_suite()
     if benchmarks:
         records = [r for r in records if r.name in set(benchmarks)]
     return run_suite(
-        records, iterations=iterations, shots=shots, seed=seed, jobs=jobs
+        records,
+        iterations=iterations,
+        shots=shots,
+        seed=seed,
+        jobs=jobs,
+        split_jobs=split_jobs,
+        transpile_cache=transpile_cache,
     )
 
 
@@ -100,6 +110,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="parallel workers (deterministic for a fixed seed)",
     )
+    parser.add_argument(
+        "--split-jobs", type=int, default=1,
+        help="pipelined split-compilation threads per iteration",
+    )
+    parser.add_argument(
+        "--no-transpile-cache", action="store_true",
+        help="recompile every iteration instead of reusing results",
+    )
     args = parser.parse_args(argv)
     results = generate_table1(
         iterations=args.iterations,
@@ -107,6 +125,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         benchmarks=args.benchmarks,
         jobs=args.jobs,
+        split_jobs=args.split_jobs,
+        transpile_cache=not args.no_transpile_cache,
     )
     print(render_table1(results))
     return 0

@@ -23,6 +23,20 @@ def tvd(p: Mapping[str, float], q: Mapping[str, float]) -> float:
     return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
 
 
+def _declared_total(counts: CountsLike) -> int:
+    """Shot count of a histogram, honouring declared shots.
+
+    A :class:`Counts` marginalised from a partially-recorded run can
+    declare more shots than its values sum to; normalising by the
+    declared total keeps TVD consistent with
+    :meth:`Counts.probabilities`.  Plain mappings fall back to the
+    value sum.
+    """
+    if isinstance(counts, Counts):
+        return counts.shots
+    return sum(counts.values())
+
+
 def tvd_counts(
     counts_a: CountsLike,
     counts_b: CountsLike,
@@ -34,8 +48,8 @@ def tvd_counts(
     differ, each is normalised by its own total (the standard
     generalisation).
     """
-    total_a = shots if shots is not None else sum(counts_a.values())
-    total_b = shots if shots is not None else sum(counts_b.values())
+    total_a = shots if shots is not None else _declared_total(counts_a)
+    total_b = shots if shots is not None else _declared_total(counts_b)
     if total_a == 0 or total_b == 0:
         raise ValueError("cannot compute TVD of empty counts")
     keys = set(counts_a) | set(counts_b)
@@ -58,7 +72,7 @@ def tvd_to_reference(counts: CountsLike, expected_bitstring: str) -> float:
     calculated as the variation distance with the theoretical output").
     Equals ``1 - P(expected)``, bounded in [0, 1].
     """
-    total = sum(counts.values())
+    total = _declared_total(counts)
     if total == 0:
         raise ValueError("cannot compute TVD of empty counts")
     correct = counts.get(expected_bitstring, 0) / total

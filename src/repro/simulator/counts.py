@@ -48,8 +48,15 @@ class Counts(dict):
         return self.get(bitstring, 0) / total if total else 0.0
 
     def marginal(self, positions: Iterable[int]) -> "Counts":
-        """Marginalise onto character *positions* counted from the right."""
+        """Marginalise onto character *positions* counted from the right.
+
+        ``marginal(())`` is the full marginalisation: every outcome
+        collapses onto the single zero-width bitstring ``""``.
+        """
         positions = sorted(positions)
+        if not positions:
+            out = {"": sum(self.values())} if self else {}
+            return Counts(out, shots=self._declared_shots)
         out: Dict[str, int] = {}
         for key, value in self.items():
             reversed_key = key[::-1]
@@ -69,8 +76,15 @@ class Counts(dict):
         return out
 
     def int_outcomes(self) -> Dict[int, int]:
-        """Counts keyed by integer value of the bitstring."""
-        return {int(key, 2): value for key, value in self.items()}
+        """Counts keyed by integer value of the bitstring.
+
+        The zero-width key produced by ``marginal(())`` maps to 0
+        (``int("", 2)`` would raise).
+        """
+        return {
+            (int(key, 2) if key else 0): value
+            for key, value in self.items()
+        }
 
     def top(self, n: int) -> Tuple[Tuple[str, int], ...]:
         """The *n* most frequent outcomes, descending."""

@@ -2,6 +2,12 @@
 optimisation — the "untrusted compiler" of the threat model."""
 
 from .basis import BASIS_GATES, translate_instruction, translate_to_basis
+from .cache import (
+    CacheStats,
+    TranspileCache,
+    circuit_structural_hash,
+    get_transpile_cache,
+)
 from .commutation import commutation_cancel, commutes
 from .coupling import CouplingMap
 from .euler import u3_angles, zyz_angles
@@ -12,6 +18,15 @@ from .optimization import (
     optimize_circuit,
     remove_identities,
 )
+from .passmanager import (
+    AnalysisPass,
+    BasePass,
+    PassManager,
+    PropertySet,
+    TransformationPass,
+    optimization_passes,
+    preset_schedule,
+)
 from .routing import RoutingResult, route_circuit
 from .transpile import TranspileResult, routed_equivalent, transpile
 
@@ -19,6 +34,17 @@ __all__ = [
     "transpile",
     "TranspileResult",
     "routed_equivalent",
+    "PassManager",
+    "PropertySet",
+    "BasePass",
+    "AnalysisPass",
+    "TransformationPass",
+    "preset_schedule",
+    "optimization_passes",
+    "TranspileCache",
+    "CacheStats",
+    "get_transpile_cache",
+    "circuit_structural_hash",
     "CouplingMap",
     "Layout",
     "trivial_layout",

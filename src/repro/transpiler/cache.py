@@ -1,0 +1,191 @@
+"""Transpile result caching.
+
+Suite runs (Table I / Figure 4) re-compile the same benchmark circuits
+every iteration; with a fixed seed even the obfuscated variants repeat
+across passes.  Compilation is deterministic, so results can be reused:
+the cache keys on ``(circuit structural hash, coupling, layout pin,
+schedule)`` and stores deep-enough clones that a hit is bit-identical
+to a fresh compile while remaining safe against callers mutating the
+returned circuit or layouts.
+
+The module-level singleton (:func:`get_transpile_cache`) is what
+``transpile()`` consults; it is per-process (each worker of a parallel
+suite run warms its own) and thread-safe (the pipelined split
+compilation of :class:`~repro.core.deobfuscate.SplitCompilationFlow`
+compiles from worker threads).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple, TYPE_CHECKING
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import UnitaryGate
+from .coupling import CouplingMap
+from .layout import Layout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .transpile import TranspileResult
+
+__all__ = [
+    "circuit_structural_hash",
+    "coupling_cache_key",
+    "layout_cache_key",
+    "CacheStats",
+    "TranspileCache",
+    "get_transpile_cache",
+]
+
+
+def circuit_structural_hash(circuit: QuantumCircuit) -> str:
+    """Stable digest of a circuit's structure.
+
+    Covers register sizes and, per instruction, the operation name,
+    parameters, qubits and clbits; explicit-matrix gates hash their
+    matrix bytes (their name may be a user label).  Equal circuits hash
+    equal across processes (unlike ``hash()``, which is salted).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        f"{circuit.num_qubits}|{circuit.num_clbits}\x1e".encode()
+    )
+    for inst in circuit.instructions:
+        op = inst.operation
+        digest.update(op.name.encode())
+        digest.update(b"\x1f")
+        params = getattr(op, "params", ())
+        if params:
+            digest.update(struct.pack(f"<{len(params)}d", *params))
+        if isinstance(op, UnitaryGate):
+            digest.update(op.matrix.tobytes())
+        digest.update(struct.pack(f"<{len(inst.qubits)}i", *inst.qubits))
+        if inst.clbits:
+            digest.update(b"c")
+            digest.update(
+                struct.pack(f"<{len(inst.clbits)}i", *inst.clbits)
+            )
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def coupling_cache_key(coupling: CouplingMap) -> Tuple:
+    """Hashable identity of a device topology."""
+    return (coupling.num_qubits, tuple(coupling.edges()))
+
+
+def layout_cache_key(layout: Optional[Layout]) -> Optional[Tuple]:
+    """Hashable identity of a layout pin (``None`` when unpinned)."""
+    if layout is None:
+        return None
+    return tuple(sorted(layout.to_dict().items()))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _clone_result(result: "TranspileResult") -> "TranspileResult":
+    """Independent copy of a transpile result.
+
+    Circuits and layouts are mutable (callers append measurements,
+    routers record swaps), so both directions of the cache go through a
+    clone; instructions themselves are immutable and shared.
+    """
+    from .transpile import TranspileResult
+
+    clone = TranspileResult(
+        circuit=result.circuit.copy(),
+        initial_layout=result.initial_layout.copy(),
+        final_layout=result.final_layout.copy(),
+        coupling=result.coupling,
+        source_num_qubits=result.source_num_qubits,
+        swap_count=result.swap_count,
+        pass_timings=dict(result.pass_timings),
+    )
+    return clone
+
+
+class TranspileCache:
+    """Thread-safe LRU cache of :class:`TranspileResult` objects."""
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.enabled = True
+        self._entries: "OrderedDict[Hashable, TranspileResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def lookup(self, key: Hashable) -> Optional["TranspileResult"]:
+        """Return a clone of the cached result for *key*, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        clone = _clone_result(entry)
+        clone.from_cache = True
+        return clone
+
+    def store(self, key: Hashable, result: "TranspileResult") -> None:
+        """Insert *result* (cloned) under *key*, evicting the LRU entry."""
+        entry = _clone_result(result)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"TranspileCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses}, enabled={self.enabled})"
+        )
+
+
+_GLOBAL_CACHE = TranspileCache()
+
+
+def get_transpile_cache() -> TranspileCache:
+    """The per-process cache consulted by ``transpile()``."""
+    return _GLOBAL_CACHE

@@ -160,16 +160,17 @@ def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
 def optimize_circuit(
     circuit: QuantumCircuit, level: int = 1
 ) -> QuantumCircuit:
-    """Apply the optimisation pipeline for the given level.
+    """Apply the optimisation pass schedule for the given level.
 
     level 0: no optimisation; level 1: identity removal + inverse-pair
-    cancellation; level >= 2: additionally fuse 1-qubit runs.
+    cancellation; level >= 2: additionally fuse 1-qubit runs.  Thin
+    wrapper over :func:`repro.transpiler.passmanager.optimization_passes`
+    (imported lazily; the pass classes wrap this module's functions).
     """
-    if level <= 0:
+    from .passmanager import PassManager, optimization_passes
+
+    passes = optimization_passes(level)
+    if not passes:
         return circuit
-    out = remove_identities(circuit)
-    out = cancel_inverse_pairs(out)
-    if level >= 2:
-        out = fuse_single_qubit_runs(out)
-        out = cancel_inverse_pairs(out)
+    out, _ = PassManager(passes).run(circuit)
     return out

@@ -8,19 +8,29 @@ device topology, and optimises.  The returned
 the *trusted user* needs to pin the second segment's placement and to
 read measurement outcomes — exactly the information flow of split
 compilation.
+
+Since the pass-manager refactor this function is a thin wrapper: it
+resolves the target device, validates any layout pin, consults the
+transpile cache (:mod:`repro.transpiler.cache`) and otherwise runs the
+preset pass schedule for the requested optimisation level
+(:func:`repro.transpiler.passmanager.preset_schedule`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from ..circuits.circuit import QuantumCircuit
 from ..noise.backend import Backend
-from .basis import translate_to_basis
+from .cache import (
+    circuit_structural_hash,
+    coupling_cache_key,
+    get_transpile_cache,
+    layout_cache_key,
+)
 from .coupling import CouplingMap
-from .layout import Layout, greedy_layout, trivial_layout
-from .optimization import optimize_circuit
-from .routing import route_circuit
+from .layout import Layout
+from .passmanager import PassManager, PropertySet, preset_schedule
 
 __all__ = ["transpile", "TranspileResult", "routed_equivalent"]
 
@@ -36,6 +46,7 @@ class TranspileResult:
         coupling: CouplingMap,
         source_num_qubits: int,
         swap_count: int,
+        pass_timings: Optional[Dict[str, float]] = None,
     ) -> None:
         self.circuit = circuit
         self.initial_layout = initial_layout
@@ -43,6 +54,11 @@ class TranspileResult:
         self.coupling = coupling
         self.source_num_qubits = source_num_qubits
         self.swap_count = swap_count
+        #: per-pass wall time of the compile that produced this result,
+        #: in schedule order ({pass name: seconds})
+        self.pass_timings: Dict[str, float] = dict(pass_timings or {})
+        #: True when this result was served by the transpile cache
+        self.from_cache = False
 
     @property
     def depth(self) -> int:
@@ -51,6 +67,11 @@ class TranspileResult:
     @property
     def size(self) -> int:
         return self.circuit.size()
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total wall time across all passes of the original compile."""
+        return sum(self.pass_timings.values())
 
     def virtual_output_qubit(self, virtual: int) -> int:
         """Physical wire carrying *virtual* at the end of the circuit."""
@@ -63,25 +84,39 @@ class TranspileResult:
         )
 
 
-def _full_layout(
-    partial: Layout, num_virtual: int, num_physical: int
+def _normalize_initial_layout(
+    initial_layout: Union[Layout, Sequence[int]], num_physical: int
 ) -> Layout:
-    """Extend a layout to a bijection over all physical qubits.
+    """Validate a user-supplied layout pin and return it as a Layout.
 
-    Padded virtual wires (idle qubits added to match the device size)
-    take the remaining physical qubits in ascending order; this keeps
-    every layout invertible, which the verification and stitching
-    logic relies on.
+    A sequence pins virtual qubit ``v`` to ``initial_layout[v]``.  Any
+    duplicate, out-of-range physical qubit or over-long pin would
+    otherwise surface deep inside the pipeline as a bare
+    ``StopIteration`` (layout completion running out of free wires) or
+    silent mis-routing — reject it here with a clear error instead.
     """
-    mapping = partial.to_dict()
-    used_physical = set(mapping.values())
-    free_physical = [
-        p for p in range(num_physical) if p not in used_physical
-    ]
-    next_free = iter(free_physical)
-    for v in range(num_virtual):
-        if v not in mapping:
-            mapping[v] = next(next_free)
+    if isinstance(initial_layout, Layout):
+        mapping = initial_layout.to_dict()
+    else:
+        mapping = {v: int(p) for v, p in enumerate(initial_layout)}
+    seen: Dict[int, int] = {}
+    for v, p in sorted(mapping.items()):
+        if not 0 <= v < num_physical:
+            raise ValueError(
+                f"initial_layout pins virtual qubit {v}, but the device "
+                f"has only {num_physical} qubits"
+            )
+        if not 0 <= p < num_physical:
+            raise ValueError(
+                f"initial_layout assigns virtual qubit {v} to physical "
+                f"qubit {p}, outside the device's {num_physical} qubits"
+            )
+        if p in seen:
+            raise ValueError(
+                f"initial_layout is not injective: physical qubit {p} is "
+                f"assigned to virtual qubits {seen[p]} and {v}"
+            )
+        seen[p] = v
     return Layout(mapping)
 
 
@@ -92,6 +127,7 @@ def transpile(
     initial_layout: Optional[Union[Layout, Sequence[int]]] = None,
     layout_method: str = "greedy",
     optimization_level: int = 1,
+    use_cache: Optional[bool] = None,
 ) -> TranspileResult:
     """Compile *circuit* for a device.
 
@@ -110,6 +146,11 @@ def transpile(
         *initial_layout* is given.
     optimization_level:
         0 (none) to 3 (aggressive 1-qubit fusion + cancellation).
+    use_cache:
+        ``True``/``False`` forces the transpile cache on/off for this
+        call; ``None`` (default) follows the global cache's ``enabled``
+        flag.  Compilation is deterministic, so a cache hit is
+        bit-identical to a fresh compile.
     """
     if coupling is None:
         if backend is not None:
@@ -123,41 +164,52 @@ def transpile(
             f"circuit needs {circuit.num_qubits} qubits, device has "
             f"{coupling.num_qubits}"
         )
+    pinned: Optional[Layout] = None
+    if initial_layout is not None:
+        pinned = _normalize_initial_layout(
+            initial_layout, coupling.num_qubits
+        )
+    elif layout_method not in ("greedy", "trivial"):
+        raise ValueError(f"unknown layout method {layout_method!r}")
 
-    lowered = translate_to_basis(circuit)
+    cache = get_transpile_cache()
+    cache_on = cache.enabled if use_cache is None else use_cache
+    key = None
+    if cache_on:
+        key = (
+            circuit_structural_hash(circuit),
+            coupling_cache_key(coupling),
+            layout_cache_key(pinned),
+            (layout_method, optimization_level),
+        )
+        cached = cache.lookup(key)
+        if cached is not None:
+            # the key is purely structural, so the hit may have been
+            # stored under a different circuit name; a fresh compile
+            # propagates the source name, so restore that here too
+            cached.circuit.name = circuit.name
+            return cached
 
-    # pad with idle virtual wires so layouts are full bijections
-    padded = QuantumCircuit(
-        coupling.num_qubits, lowered.num_clbits, lowered.name
+    schedule = preset_schedule(
+        optimization_level=optimization_level,
+        layout_method=layout_method,
+        initial_layout=pinned,
     )
-    padded.extend(lowered.instructions)
+    properties = PropertySet(coupling=coupling)
+    physical, properties = PassManager(schedule).run(circuit, properties)
 
-    if initial_layout is None:
-        if layout_method == "greedy":
-            partial = greedy_layout(lowered, coupling)
-        elif layout_method == "trivial":
-            partial = trivial_layout(lowered.num_qubits)
-        else:
-            raise ValueError(f"unknown layout method {layout_method!r}")
-    elif isinstance(initial_layout, Layout):
-        partial = initial_layout
-    else:
-        partial = Layout({v: p for v, p in enumerate(initial_layout)})
-    layout = _full_layout(partial, coupling.num_qubits, coupling.num_qubits)
-
-    routed = route_circuit(padded, coupling, initial_layout=layout)
-
-    physical = translate_to_basis(routed.circuit)  # lower inserted SWAPs
-    physical = optimize_circuit(physical, level=optimization_level)
-
-    return TranspileResult(
+    result = TranspileResult(
         circuit=physical,
-        initial_layout=routed.initial_layout,
-        final_layout=routed.final_layout,
+        initial_layout=properties["initial_layout"],
+        final_layout=properties["final_layout"],
         coupling=coupling,
         source_num_qubits=circuit.num_qubits,
-        swap_count=routed.swap_count,
+        swap_count=properties["swap_count"],
+        pass_timings=properties["pass_timings"],
     )
+    if key is not None:
+        cache.store(key, result)
+    return result
 
 
 def routed_equivalent(

@@ -77,3 +77,31 @@ class TestParallelSuite:
             run_suite(_records(), iterations=0)
         with pytest.raises(ValueError):
             run_suite(_records(), jobs=0)
+
+
+class TestCompilationKnobs:
+    """split_jobs and the transpile cache never change any result."""
+
+    def test_split_jobs_do_not_change_results(self):
+        baseline = run_suite(
+            _records(), iterations=2, shots=100, seed=21, split_jobs=1
+        )
+        pipelined = run_suite(
+            _records(), iterations=2, shots=100, seed=21, split_jobs=2
+        )
+        assert _fingerprint(baseline) == _fingerprint(pipelined)
+
+    def test_transpile_cache_does_not_change_results(self):
+        from repro.transpiler import get_transpile_cache
+
+        get_transpile_cache().clear()
+        cached = run_suite(
+            _records(), iterations=2, shots=100, seed=21,
+            transpile_cache=True,
+        )
+        assert get_transpile_cache().stats().hits > 0
+        uncached = run_suite(
+            _records(), iterations=2, shots=100, seed=21,
+            transpile_cache=False,
+        )
+        assert _fingerprint(cached) == _fingerprint(uncached)

@@ -39,6 +39,33 @@ class TestTvd:
         with pytest.raises(ValueError):
             tvd_counts({}, {"0": 1})
 
+    def test_declared_shots_honoured(self):
+        """Counts.shots (declared) wins over re-summing the values.
+
+        A histogram from a partially-recorded run declares the true
+        shot count; its probabilities must match Counts.probabilities.
+        """
+        from repro.simulator import Counts
+
+        partial = Counts({"0": 40}, shots=100)  # 60 shots unrecorded
+        full = Counts({"0": 40, "1": 60})
+        # P(partial) = {0: 0.4}; P(full) = {0: 0.4, 1: 0.6}
+        assert tvd_counts(partial, full) == pytest.approx(0.3)
+        assert tvd_counts(partial, partial) == pytest.approx(0.0)
+        # consistent with the probability view
+        assert tvd(
+            partial.probabilities(), full.probabilities()
+        ) == pytest.approx(tvd_counts(partial, full))
+
+    def test_declared_shots_in_reference_tvd(self):
+        from repro.simulator import Counts
+
+        partial = Counts({"0": 40}, shots=100)
+        assert tvd_to_reference(partial, "0") == pytest.approx(0.6)
+
+    def test_plain_dicts_still_resum(self):
+        assert tvd_counts({"0": 40}, {"0": 40}) == pytest.approx(0.0)
+
     def test_reference_distribution(self):
         assert reference_distribution("010") == {"010": 1.0}
 

@@ -130,6 +130,25 @@ class TestCounts:
     def test_int_outcomes(self):
         assert Counts({"10": 7}).int_outcomes() == {2: 7}
 
+    def test_marginal_empty_positions_collapses_all(self):
+        """marginal(()) is the full marginalisation: one zero-width key."""
+        counts = Counts({"10": 4, "11": 6})
+        reduced = counts.marginal(())
+        assert reduced == {"": 10}
+        assert reduced.shots == 10
+
+    def test_marginal_empty_positions_keeps_declared_shots(self):
+        counts = Counts({"10": 4}, shots=10)
+        assert counts.marginal(()).shots == 10
+
+    def test_marginal_empty_positions_of_empty_counts(self):
+        assert Counts().marginal(()) == {}
+
+    def test_int_outcomes_zero_width_key(self):
+        """Regression: int("", 2) raised on marginal(()) histograms."""
+        counts = Counts({"10": 4, "11": 6}).marginal(())
+        assert counts.int_outcomes() == {0: 10}
+
     def test_top(self):
         counts = Counts({"00": 1, "01": 5, "10": 3})
         assert counts.top(2) == (("01", 5), ("10", 3))

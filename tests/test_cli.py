@@ -87,6 +87,60 @@ class TestInspect:
         assert "empty slots" in out
 
 
+class TestTranspileCommand:
+    def test_reports_pass_timings_and_cache(self, real_file, capsys):
+        from repro.transpiler import get_transpile_cache
+
+        get_transpile_cache().clear()
+        code = main(["transpile", str(real_file), "--level", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pass timings" in out
+        assert "TranslateToBasis" in out
+        assert "FuseSingleQubitRuns" in out
+        assert "transpile cache" in out
+
+    def test_second_run_hits_cache(self, real_file, capsys):
+        from repro.transpiler import get_transpile_cache
+
+        get_transpile_cache().clear()
+        main(["transpile", str(real_file)])
+        code = main(["transpile", str(real_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "from cache" in out
+        assert "1 hit(s)" in out
+
+    def test_no_transpile_cache_flag(self, real_file, capsys):
+        from repro.transpiler import get_transpile_cache
+
+        get_transpile_cache().clear()
+        main(["transpile", str(real_file), "--no-transpile-cache"])
+        code = main(["transpile", str(real_file), "--no-transpile-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "from cache" not in out
+        assert "0 hit(s)" in out
+
+    def test_line_coupling_and_trivial_layout(self, real_file, capsys):
+        code = main(
+            ["transpile", str(real_file), "--coupling", "line",
+             "--layout", "trivial", "--size", "6",
+             "--no-transpile-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "swaps:" in out
+
+    def test_too_small_device_fails_cleanly(self, real_file, capsys):
+        code = main(
+            ["transpile", str(real_file), "--coupling", "line",
+             "--size", "2"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestExperimentShortcuts:
     def test_attack_shortcut(self, capsys):
         code = main(["attack"])

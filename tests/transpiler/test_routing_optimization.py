@@ -209,3 +209,58 @@ class TestTranspilePipeline:
             qc, coupling=CouplingMap.line(1), optimization_level=0
         )
         assert result.circuit.size() == 2
+
+
+class TestInitialLayoutValidation:
+    """Bad layout pins must fail fast with a clear ValueError.
+
+    Regression: duplicate or out-of-range physical qubits used to
+    escape as a bare ``StopIteration`` from layout completion (or
+    silently mis-route).
+    """
+
+    def _qc(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        return qc
+
+    def test_duplicate_physical_qubits_rejected(self):
+        with pytest.raises(ValueError, match="not injective"):
+            transpile(
+                self._qc(),
+                coupling=CouplingMap.line(3),
+                initial_layout=[1, 1],
+            )
+
+    def test_out_of_range_physical_qubit_rejected(self):
+        with pytest.raises(ValueError, match="outside the device"):
+            transpile(
+                self._qc(),
+                coupling=CouplingMap.line(3),
+                initial_layout=[0, 5],
+            )
+
+    def test_negative_physical_qubit_rejected(self):
+        with pytest.raises(ValueError, match="outside the device"):
+            transpile(
+                self._qc(),
+                coupling=CouplingMap.line(3),
+                initial_layout=[0, -1],
+            )
+
+    def test_overlong_pin_rejected(self):
+        # used to raise StopIteration once free wires ran out
+        with pytest.raises(ValueError, match="virtual qubit"):
+            transpile(
+                self._qc(),
+                coupling=CouplingMap.line(2),
+                initial_layout=[0, 1, 2],
+            )
+
+    def test_layout_object_with_out_of_range_virtual_rejected(self):
+        with pytest.raises(ValueError, match="virtual qubit"):
+            transpile(
+                self._qc(),
+                coupling=CouplingMap.line(2),
+                initial_layout=Layout({0: 0, 5: 1}),
+            )
