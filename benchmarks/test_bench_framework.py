@@ -1,0 +1,65 @@
+"""Bench: experiment-framework overhead (store, resume, parallel grid).
+
+The framework's value proposition is that checkpointing and resuming
+are effectively free next to the physics: a resumed run must re-execute
+*zero* cells, and the JSONL store must add negligible overhead per
+cell.  Both are asserted here on real (tiny) grids.
+"""
+
+from repro.experiments import ResultStore, run_experiment
+
+TINY_TABLE1 = {
+    "iterations": 2,
+    "shots": 100,
+    "seed": 17,
+    "benchmarks": ["4gt13"],
+}
+
+
+def test_bench_checkpointed_run(benchmark, tmp_path):
+    """A checkpointed run: full compute cost + store appends."""
+
+    def run(index=iter(range(1_000_000))):
+        store = ResultStore(tmp_path / f"r{next(index)}")
+        return run_experiment("table1", TINY_TABLE1, store=store)
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.complete and report.computed == 2
+
+
+def test_bench_resume_is_pure_reuse(benchmark, tmp_path):
+    """Resuming a finished run loads checkpoints, computes nothing."""
+    store = ResultStore(tmp_path)
+    first = run_experiment("table1", TINY_TABLE1, store=store)
+    assert first.computed == 2
+
+    report = benchmark(
+        lambda: run_experiment(
+            "table1", TINY_TABLE1, resume=True, store=store
+        )
+    )
+    assert report.computed == 0 and report.reused == 2
+    # identical aggregates straight from the store
+    assert (
+        report.result["4gt13"].accuracy == first.result["4gt13"].accuracy
+    )
+    assert (
+        report.result["4gt13"].tvd_obfuscated_values
+        == first.result["4gt13"].tvd_obfuscated_values
+    )
+
+
+def test_bench_store_append_load(benchmark, tmp_path):
+    """Raw store throughput: append + reload a few hundred cells."""
+    store = ResultStore(tmp_path)
+
+    def fill(index=iter(range(1_000_000))):
+        cfg_hash = f"h{next(index)}"
+        store.begin("bench", cfg_hash, {"n": 200})
+        for i in range(200):
+            store.append("bench", cfg_hash, f"c{i}", {"i": i, "v": i * i})
+        return store.load("bench", cfg_hash)
+
+    cells = benchmark.pedantic(fill, rounds=3, iterations=1)
+    assert len(cells) == 200
+    assert cells["c7"] == {"i": 7, "v": 49}

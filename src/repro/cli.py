@@ -16,6 +16,12 @@ design before sending it to third-party compilers:
 * ``transpile`` — compile a circuit for a device through the preset
   pass schedule and report per-pass wall times plus transpile-cache
   statistics (``--no-transpile-cache`` forces a fresh compile).
+* ``experiment`` — the unified experiment framework:
+  ``repro experiment list|run|resume|report`` runs any registered
+  experiment grid with persistent JSONL checkpoints under
+  ``results/``, exact resume after an interruption, ``--shard i/n``
+  splitting for multi-machine runs, and uniform ``--jobs`` /
+  ``--split-jobs`` / ``--no-transpile-cache`` knobs.
 * ``table1`` / ``figure4`` / ``attack`` — shortcut to the experiment
   harnesses (extra flags such as ``--jobs`` pass straight through).
 """
@@ -287,21 +293,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     transpile_cmd.set_defaults(func=_cmd_transpile)
 
+    # add_help=False on the forwarding stubs: -h lands in `extra` and
+    # reaches the real parser, so `repro experiment run -h` shows the
+    # framework's help instead of the stub's empty usage line
+    experiment = sub.add_parser(
+        "experiment",
+        add_help=False,
+        help="declarative experiment framework: list|run|resume|report "
+        "(checkpointed, resumable, shardable grids)",
+    )
+    experiment.set_defaults(func=None, harness=None)
+
     for name, module in [
         ("table1", "table1"),
         ("figure4", "figure4"),
         ("attack", "attack_complexity"),
     ]:
-        experiment = sub.add_parser(
-            name, help=f"run the {name} experiment harness "
+        shortcut = sub.add_parser(
+            name, add_help=False,
+            help=f"run the {name} experiment harness "
             "(flags pass through, e.g. --jobs N)"
         )
-        experiment.set_defaults(func=None, harness=module)
+        shortcut.set_defaults(func=None, harness=module)
 
     # parse_known_args forwards harness flags (--jobs, --iterations,
     # ...) to the experiment's own parser instead of rejecting them
     args, extra = parser.parse_known_args(argv)
     if getattr(args, "func", None) is None:
+        if args.harness is None:
+            from .experiments.framework.cli import main as experiment_main
+
+            return experiment_main(extra)
         import importlib
 
         harness = importlib.import_module(

@@ -99,6 +99,44 @@ class EvaluationResult:
     def depth_preserved(self) -> bool:
         return self.depth_obfuscated <= self.depth_original
 
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form for the experiment result store.
+
+        Only raw quantities are stored — every derived metric is a
+        property recomputed from them, so a round-trip through
+        :meth:`from_dict` is bit-identical.
+        """
+        return {
+            "name": self.name,
+            "depth_original": self.depth_original,
+            "depth_obfuscated": self.depth_obfuscated,
+            "gates_original": self.gates_original,
+            "gates_obfuscated": self.gates_obfuscated,
+            "inserted_gates": self.inserted_gates,
+            "split_qubits": list(self.split_qubits),
+            "counts_original": self.counts_original.to_dict(),
+            "counts_obfuscated": self.counts_obfuscated.to_dict(),
+            "counts_restored": self.counts_restored.to_dict(),
+            "expected_bitstring": self.expected_bitstring,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvaluationResult":
+        return cls(
+            name=data["name"],
+            depth_original=int(data["depth_original"]),
+            depth_obfuscated=int(data["depth_obfuscated"]),
+            gates_original=int(data["gates_original"]),
+            gates_obfuscated=int(data["gates_obfuscated"]),
+            inserted_gates=int(data["inserted_gates"]),
+            split_qubits=tuple(data["split_qubits"]),
+            counts_original=Counts.from_dict(data["counts_original"]),
+            counts_obfuscated=Counts.from_dict(data["counts_obfuscated"]),
+            counts_restored=Counts.from_dict(data["counts_restored"]),
+            expected_bitstring=data["expected_bitstring"],
+        )
+
 
 class TetrisLockPipeline:
     """Reusable evaluation pipeline bound to a backend + simulator."""

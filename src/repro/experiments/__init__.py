@@ -1,11 +1,23 @@
 """Experiment harnesses regenerating the paper's tables and figures.
 
+Every harness is a registered :mod:`repro.experiments.framework` spec
+— a declarative (parameter grid, per-cell task, aggregator, renderer)
+bundle executed by one shared grid runner with persistent JSONL
+checkpoints, ``--shard i/n`` splitting, process-pool parallelism and
+exact resume.  The classic module-level functions remain as thin
+wrappers.
+
 * :mod:`repro.experiments.table1` — Table I (overhead + accuracy).
 * :mod:`repro.experiments.figure4` — Figure 4 (TVD distributions).
 * :mod:`repro.experiments.attack_complexity` — Eq. 1 comparison and
   the concrete brute-force collusion attack.
 * :mod:`repro.experiments.ablation_insertion` — insertion-strategy
   ablation (empty-slot vs block prepend).
+* :mod:`repro.experiments.sweep_gate_limit` — obfuscation strength vs
+  insertion budget.
+
+Importing this package registers all built-in specs; use
+``repro experiment list`` (or :func:`list_specs`) to enumerate them.
 """
 
 from .ablation_insertion import render_ablation, run_ablation
@@ -16,6 +28,18 @@ from .attack_complexity import (
     render_complexity_table,
 )
 from .figure4 import generate_figure4, render_figure4
+from .framework import (
+    Cell,
+    ExecOptions,
+    ExperimentSpec,
+    ResultStore,
+    RunReport,
+    config_hash,
+    get_spec,
+    list_specs,
+    register,
+    run_experiment,
+)
 from .runner import AggregateResult, run_benchmark, run_suite
 from .table1 import generate_table1, render_table1
 
@@ -34,4 +58,15 @@ __all__ = [
     "render_ablation",
     "run_gate_limit_sweep",
     "render_sweep",
+    # framework
+    "Cell",
+    "ExecOptions",
+    "ExperimentSpec",
+    "ResultStore",
+    "RunReport",
+    "config_hash",
+    "get_spec",
+    "list_specs",
+    "register",
+    "run_experiment",
 ]

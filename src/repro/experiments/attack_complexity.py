@@ -7,7 +7,14 @@ device sizes, and demonstrates the brute-force attack concretely on a
 small benchmark (it succeeds against a straight same-width split in at
 most ``n!`` trials — the motivation for the interlocking pattern).
 
-Run as a script::
+As a framework spec, every (device size, qubit count) pair is one
+grid cell and the brute-force demo a final cell — all deterministic
+(integer combinatorics plus a fixed-seed attack), so the spec is
+unseeded and any shard/resume/jobs combination is trivially
+bit-identical.
+
+Run as a script (thin wrapper over
+``repro experiment run attack_complexity``)::
 
     python -m repro.experiments.attack_complexity
 """
@@ -15,8 +22,10 @@ Run as a script::
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..baselines.saki_split import saki_split
 from ..core.attack import (
@@ -25,13 +34,16 @@ from ..core.attack import (
     tetrislock_attack_complexity,
 )
 from ..revlib.benchmarks import benchmark_circuit
+from .framework import Cell, ExecOptions, ExperimentSpec, register, run_experiment
 
 __all__ = [
     "ComplexityRow",
     "generate_complexity_table",
     "render_complexity_table",
     "demo_bruteforce_attack",
+    "render_attack_report",
     "main",
+    "ATTACK_SPEC",
 ]
 
 
@@ -48,6 +60,17 @@ class ComplexityRow:
         if self.saki == 0:
             return float("inf")
         return self.tetrislock / self.saki
+
+
+@dataclass
+class BruteForceDemo:
+    benchmark: str
+    candidates: int
+    matches: int
+
+    @property
+    def success(self) -> bool:
+        return self.matches > 0
 
 
 def generate_complexity_table(
@@ -75,31 +98,6 @@ def generate_complexity_table(
     return rows
 
 
-def render_complexity_table(rows: List[ComplexityRow]) -> str:
-    lines = [
-        f"{'n':>4} {'nmax':>5} {'k':>3} {'Saki k*n!':>14} "
-        f"{'TetrisLock Eq.1':>20} {'ratio':>12}",
-        "-" * 64,
-    ]
-    for row in rows:
-        lines.append(
-            f"{row.n:>4} {row.nmax:>5} {row.k:>3} {row.saki:>14.3e} "
-            f"{row.tetrislock:>20.3e} {row.ratio:>12.1f}"
-        )
-    return "\n".join(lines)
-
-
-@dataclass
-class BruteForceDemo:
-    benchmark: str
-    candidates: int
-    matches: int
-
-    @property
-    def success(self) -> bool:
-        return self.matches > 0
-
-
 def demo_bruteforce_attack(
     benchmark: str = "4gt13", seed: int = 3
 ) -> BruteForceDemo:
@@ -117,20 +115,112 @@ def demo_bruteforce_attack(
     )
 
 
+# ---------------------------------------------------------------------------
+# framework spec
+# ---------------------------------------------------------------------------
+
+def _attack_cells(config: Dict[str, Any]) -> List[Cell]:
+    cells = [
+        Cell(f"eq1/nmax{nmax}/n{n}",
+             {"n": int(n), "nmax": int(nmax)})
+        for nmax in config["nmax_values"]
+        for n in config["qubit_counts"]
+    ]
+    cells.append(Cell("demo", {}))
+    return cells
+
+
+def _attack_task(
+    config: Dict[str, Any],
+    cell: Cell,
+    seed: Optional[np.random.SeedSequence],
+    options: ExecOptions,
+) -> Dict[str, Any]:
+    if cell.id == "demo":
+        demo = demo_bruteforce_attack(
+            str(config["demo_benchmark"]), int(config["demo_seed"])
+        )
+        return asdict(demo)
+    n, nmax, k = cell.params["n"], cell.params["nmax"], int(config["k"])
+    row = ComplexityRow(
+        n=n,
+        nmax=nmax,
+        k=k,
+        saki=saki_attack_complexity(n, k),
+        tetrislock=tetrislock_attack_complexity(n, nmax, k),
+    )
+    return asdict(row)
+
+
+def _aggregate_attack(
+    config: Dict[str, Any], results: Dict[str, Any]
+) -> Dict[str, Any]:
+    rows = [
+        ComplexityRow(**results[cell.id])
+        for cell in _attack_cells(config)
+        if cell.id != "demo"
+    ]
+    return {"rows": rows, "demo": BruteForceDemo(**results["demo"])}
+
+
+def render_attack_report(report: Dict[str, Any]) -> str:
+    """Complexity table plus the brute-force demo verdict."""
+    demo = report["demo"]
+    return (
+        render_complexity_table(report["rows"])
+        + "\n\n"
+        + f"Brute-force vs straight split on {demo.benchmark}: "
+        f"{demo.matches}/{demo.candidates} candidate matchings recover "
+        f"the original function "
+        f"(attack {'succeeds' if demo.success else 'fails'})"
+    )
+
+
+ATTACK_SPEC = register(
+    ExperimentSpec(
+        name="attack_complexity",
+        description="Eq. 1 search-space comparison vs Saki k*n! plus "
+        "the concrete brute-force collusion attack",
+        defaults={
+            "qubit_counts": [4, 5, 7, 10, 12],
+            "nmax_values": [5, 27, 127],
+            "k": 2,
+            "demo_benchmark": "4gt13",
+            "demo_seed": 3,
+        },
+        make_cells=_attack_cells,
+        task=_attack_task,
+        aggregate=_aggregate_attack,
+        render=render_attack_report,
+        seeded=False,
+    )
+)
+
+
+def render_complexity_table(rows: List[ComplexityRow]) -> str:
+    lines = [
+        f"{'n':>4} {'nmax':>5} {'k':>3} {'Saki k*n!':>14} "
+        f"{'TetrisLock Eq.1':>20} {'ratio':>12}",
+        "-" * 64,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.n:>4} {row.nmax:>5} {row.k:>3} {row.saki:>14.3e} "
+            f"{row.tetrislock:>20.3e} {row.ratio:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Attack-complexity comparison (Eq. 1)"
+        description="Attack-complexity comparison (Eq. 1)",
+        epilog="thin wrapper over `repro experiment run "
+        "attack_complexity` — use that for checkpointed runs",
     )
     parser.add_argument("--k", type=int, default=2)
     args = parser.parse_args(argv)
-    rows = generate_complexity_table(k=args.k)
-    print(render_complexity_table(rows))
-    demo = demo_bruteforce_attack()
-    print(
-        f"\nBrute-force vs straight split on {demo.benchmark}: "
-        f"{demo.matches}/{demo.candidates} candidate matchings recover "
-        f"the original function (attack {'succeeds' if demo.success else 'fails'})"
-    )
+    report = run_experiment("attack_complexity", {"k": args.k})
+    print(render_attack_report(report.result))
     return 0
 
 

@@ -9,9 +9,11 @@ remains).
 
 The paper shows boxplot-style distributions over iterations; this
 harness reports min / quartiles / max per series and renders a text
-boxplot.
+boxplot.  As a framework spec it shares Table I's cell grid and task —
+same (benchmark, iteration) cells, same seeding — with its own
+aggregator building the TVD series.
 
-Run as a script::
+Run as a script (thin wrapper over ``repro experiment run figure4``)::
 
     python -m repro.experiments.figure4 [--iterations N] [--shots S]
 """
@@ -20,14 +22,17 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.pipeline import EvaluationResult
+from .framework import ExperimentSpec, register, run_experiment
 from .runner import AggregateResult
-from .table1 import generate_table1
+from .table1 import TABLE1_SPEC, aggregate_table, table_cells, table_task
 
-__all__ = ["TvdSeries", "generate_figure4", "render_figure4", "main"]
+__all__ = ["TvdSeries", "generate_figure4", "render_figure4", "main",
+           "FIGURE4_SPEC"]
 
 
 @dataclass
@@ -76,27 +81,9 @@ class TvdSeries:
         return "".join(line)
 
 
-def generate_figure4(
-    iterations: int = 20,
-    shots: int = 1000,
-    seed: Optional[int] = 2025,
-    benchmarks: Optional[Sequence[str]] = None,
-    results: Optional[Dict[str, AggregateResult]] = None,
-    jobs: int = 1,
-    split_jobs: int = 1,
-    transpile_cache: bool = True,
+def _series_from_aggregates(
+    results: Dict[str, AggregateResult],
 ) -> Dict[str, Dict[str, TvdSeries]]:
-    """Compute TVD distributions; reuses Table I results when given."""
-    if results is None:
-        results = generate_table1(
-            iterations=iterations,
-            shots=shots,
-            seed=seed,
-            benchmarks=benchmarks,
-            jobs=jobs,
-            split_jobs=split_jobs,
-            transpile_cache=transpile_cache,
-        )
     figure: Dict[str, Dict[str, TvdSeries]] = {}
     for name, aggregate in results.items():
         figure[name] = {
@@ -108,6 +95,59 @@ def generate_figure4(
             ),
         }
     return figure
+
+
+def _aggregate_figure4(
+    config: Dict[str, Any], results: Dict[str, Any]
+) -> Dict[str, Dict[str, TvdSeries]]:
+    return _series_from_aggregates(aggregate_table(config, results))
+
+
+FIGURE4_SPEC = register(
+    ExperimentSpec(
+        name="figure4",
+        description="Figure 4: TVD distributions of obfuscated vs "
+        "restored circuits (Sec. V)",
+        defaults=dict(TABLE1_SPEC.defaults),
+        make_cells=table_cells,
+        task=table_task,
+        aggregate=_aggregate_figure4,
+        render=lambda figure: render_figure4(figure),
+        encode=lambda result: result.to_dict(),
+        decode=EvaluationResult.from_dict,
+        # same cells, task, and defaults as table1 -> share its
+        # checkpoints: a finished table1 run renders figure4 for free
+        store_as="table1",
+    )
+)
+
+
+def generate_figure4(
+    iterations: int = 20,
+    shots: int = 1000,
+    seed: Optional[int] = 2025,
+    benchmarks: Optional[Sequence[str]] = None,
+    results: Optional[Dict[str, AggregateResult]] = None,
+    jobs: int = 1,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
+) -> Dict[str, Dict[str, TvdSeries]]:
+    """Compute TVD distributions; reuses Table I results when given."""
+    if results is not None:
+        return _series_from_aggregates(results)
+    report = run_experiment(
+        "figure4",
+        {
+            "iterations": iterations,
+            "shots": shots,
+            "seed": seed,
+            "benchmarks": list(benchmarks) if benchmarks else None,
+        },
+        jobs=jobs,
+        split_jobs=split_jobs,
+        transpile_cache=transpile_cache,
+    )
+    return report.result
 
 
 def render_figure4(figure: Dict[str, Dict[str, TvdSeries]]) -> str:
@@ -128,7 +168,11 @@ def render_figure4(figure: Dict[str, Dict[str, TvdSeries]]) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description="Regenerate Figure 4")
+    parser = argparse.ArgumentParser(
+        description="Regenerate Figure 4",
+        epilog="thin wrapper over `repro experiment run figure4` — use "
+        "that for checkpointed / resumable / sharded runs",
+    )
     parser.add_argument("--iterations", type=int, default=20)
     parser.add_argument("--shots", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=2025)

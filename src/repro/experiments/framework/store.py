@@ -1,0 +1,145 @@
+"""Persistent, crash-tolerant experiment result store.
+
+Layout::
+
+    results/
+      <spec-name>/
+        <config-hash>.jsonl
+
+One JSONL file per (spec, config) run.  The first line is a header
+recording the spec name and full config; every subsequent line is one
+completed cell::
+
+    {"kind": "header", "spec": "table1", "config_hash": "...", "config": {...}}
+    {"kind": "cell", "id": "4gt13/0", "payload": {...}}
+
+Appends are flushed and fsynced per cell, so a killed run loses at
+most the cell that was in flight; a torn final line (the kill landed
+mid-write) is skipped on load.  Cells are deduplicated last-wins, so
+concatenating shards of the same run — or rsyncing files from several
+machines into one store — just works.
+
+The config hash covers only the scientific parameters (canonical JSON,
+sorted keys).  Execution knobs such as ``jobs`` or sharding never
+enter the hash: every execution strategy of the same config produces
+bit-identical cells, so they all checkpoint into the same file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = ["ResultStore", "config_hash"]
+
+DEFAULT_ROOT = Path("results")
+
+
+def config_hash(config: Dict[str, Any]) -> str:
+    """Stable short hash of a config dict.
+
+    Canonical JSON (sorted keys, no whitespace) makes the hash
+    independent of dict insertion order and of tuple-vs-list spelling.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.blake2b(canonical.encode(), digest_size=8).hexdigest()
+
+
+class ResultStore:
+    """JSONL checkpoint store under a root directory (``results/``)."""
+
+    def __init__(self, root: os.PathLike = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+
+    def run_path(self, spec_name: str, cfg_hash: str) -> Path:
+        return self.root / spec_name / f"{cfg_hash}.jsonl"
+
+    # ------------------------------------------------------------------
+    def _iter_records(self, path: Path) -> Iterator[Dict[str, Any]]:
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed run
+            if isinstance(record, dict):
+                yield record
+
+    def load(self, spec_name: str, cfg_hash: str) -> Dict[str, Any]:
+        """Completed cells of a run: cell id -> raw JSON payload."""
+        cells: Dict[str, Any] = {}
+        for record in self._iter_records(self.run_path(spec_name, cfg_hash)):
+            if record.get("kind") == "cell" and "id" in record:
+                cells[record["id"]] = record.get("payload")
+        return cells
+
+    def load_header(
+        self, spec_name: str, cfg_hash: str
+    ) -> Optional[Dict[str, Any]]:
+        for record in self._iter_records(self.run_path(spec_name, cfg_hash)):
+            if record.get("kind") == "header":
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        spec_name: str,
+        cfg_hash: str,
+        config: Dict[str, Any],
+        fresh: bool = False,
+    ) -> Path:
+        """Prepare a run file, writing the header if absent.
+
+        *fresh* truncates an existing file (a non-resume, non-shard run
+        starts over); otherwise existing cells are kept so shards and
+        resumed runs accumulate into the same checkpoint.
+        """
+        path = self.run_path(spec_name, cfg_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if fresh or not path.exists() or path.stat().st_size == 0:
+            header = {
+                "kind": "header",
+                "spec": spec_name,
+                "config_hash": cfg_hash,
+                "config": config,
+            }
+            with open(path, "w") as fh:
+                fh.write(json.dumps(header) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        return path
+
+    def append(
+        self, spec_name: str, cfg_hash: str, cell_id: str, payload: Any
+    ) -> None:
+        """Checkpoint one completed cell (flush + fsync)."""
+        record = {"kind": "cell", "id": cell_id, "payload": payload}
+        path = self.run_path(spec_name, cfg_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------------
+    def runs(self) -> Iterator[Tuple[str, str, Path]]:
+        """Yield (spec name, config hash, path) for every stored run."""
+        if not self.root.is_dir():
+            return
+        for spec_dir in sorted(self.root.iterdir()):
+            if not spec_dir.is_dir():
+                continue
+            for path in sorted(spec_dir.glob("*.jsonl")):
+                yield spec_dir.name, path.stem, path

@@ -10,7 +10,15 @@ the theoretical output, as a function of the insertion budget.
 Noise-free on purpose — it isolates the *obfuscation* corruption from
 hardware error, so the curve is the pure security/strength trade-off.
 
-Run as a script::
+Each (benchmark, gate_limit) pair is one framework grid cell with its
+own ``SeedSequence``-spawned seed (the pre-framework version threaded
+a single RNG through the whole sweep, which made it impossible to
+parallelise or resume without changing results — per-cell seeding
+changes the drawn samples for a given root seed, but makes every
+execution strategy bit-identical to the sequential run).
+
+Run as a script (thin wrapper over
+``repro experiment run sweep_gate_limit``)::
 
     python -m repro.experiments.sweep_gate_limit
 """
@@ -18,8 +26,8 @@ Run as a script::
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,8 +35,10 @@ from ..core.insertion import insert_random_pairs
 from ..execution import run as execute
 from ..metrics.tvd import tvd_to_reference
 from ..revlib.benchmarks import load_benchmark, paper_suite
+from .framework import Cell, ExecOptions, ExperimentSpec, register, run_experiment
 
-__all__ = ["SweepPoint", "run_gate_limit_sweep", "render_sweep", "main"]
+__all__ = ["SweepPoint", "run_gate_limit_sweep", "render_sweep", "main",
+           "SWEEP_SPEC"]
 
 
 @dataclass
@@ -39,44 +49,120 @@ class SweepPoint:
     mean_tvd_obfuscated: float
 
 
+def _sweep_names(config: Dict[str, Any]) -> List[str]:
+    subset = config.get("benchmarks")
+    if subset:
+        from ..revlib.benchmarks import benchmark_names
+
+        available = benchmark_names()
+        unknown = sorted(set(subset) - set(available))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)}; "
+                f"available: {available}"
+            )
+        return list(subset)
+    return [r.name for r in paper_suite() if r.num_qubits <= 7]
+
+
+def _sweep_cells(config: Dict[str, Any]) -> List[Cell]:
+    return [
+        Cell(f"{name}/limit{limit}",
+             {"benchmark": name, "gate_limit": int(limit)})
+        for name in _sweep_names(config)
+        for limit in config["gate_limits"]
+    ]
+
+
+def _sweep_task(
+    config: Dict[str, Any],
+    cell: Cell,
+    seed: Optional[np.random.SeedSequence],
+    options: ExecOptions,
+) -> SweepPoint:
+    """One curve point: mean inserted pairs + mean noiseless TVD."""
+    record = load_benchmark(cell.params["benchmark"])
+    circuit = record.circuit()
+    expected = record.expected_output()
+    limit = cell.params["gate_limit"]
+    rng = np.random.default_rng(seed)
+    inserted: List[int] = []
+    tvds: List[float] = []
+    for _ in range(int(config["iterations"])):
+        result = insert_random_pairs(circuit, gate_limit=limit, seed=rng)
+        inserted.append(result.num_pairs)
+        rc = result.rc_circuit()
+        # noiseless + terminal measures: auto-dispatch picks the
+        # statevector engine (one evolution per circuit)
+        counts = execute(rc, int(config["shots"]), seed=rng)
+        tvds.append(tvd_to_reference(counts, expected))
+    return SweepPoint(
+        benchmark=cell.params["benchmark"],
+        gate_limit=limit,
+        mean_inserted=float(np.mean(inserted)),
+        mean_tvd_obfuscated=float(np.mean(tvds)),
+    )
+
+
+def _aggregate_sweep(
+    config: Dict[str, Any], results: Dict[str, Any]
+) -> List[SweepPoint]:
+    return [results[cell.id] for cell in _sweep_cells(config)]
+
+
+SWEEP_SPEC = register(
+    ExperimentSpec(
+        name="sweep_gate_limit",
+        description="noiseless obfuscated-TVD curve vs random-gate "
+        "insertion budget (Sec. V-C extension)",
+        defaults={
+            "benchmarks": None,
+            "gate_limits": [0, 1, 2, 4, 8],
+            "iterations": 10,
+            "shots": 512,
+            "seed": 9,
+        },
+        make_cells=_sweep_cells,
+        task=_sweep_task,
+        aggregate=_aggregate_sweep,
+        render=lambda points: render_sweep(points),
+        encode=asdict,
+        decode=lambda data: SweepPoint(**data),
+    )
+)
+
+
 def run_gate_limit_sweep(
     benchmarks: Optional[Sequence[str]] = None,
     gate_limits: Sequence[int] = (0, 1, 2, 4, 8),
     iterations: int = 10,
     shots: int = 512,
     seed: int = 9,
+    jobs: int = 1,
+    split_jobs: int = 1,
+    transpile_cache: bool = True,
 ) -> List[SweepPoint]:
-    """Noiseless obfuscated-TVD curve over insertion budgets."""
-    if benchmarks is None:
-        benchmarks = [r.name for r in paper_suite() if r.num_qubits <= 7]
-    rng = np.random.default_rng(seed)
-    points: List[SweepPoint] = []
-    for name in benchmarks:
-        record = load_benchmark(name)
-        circuit = record.circuit()
-        expected = record.expected_output()
-        for limit in gate_limits:
-            inserted: List[int] = []
-            tvds: List[float] = []
-            for _ in range(iterations):
-                result = insert_random_pairs(
-                    circuit, gate_limit=limit, seed=rng
-                )
-                inserted.append(result.num_pairs)
-                rc = result.rc_circuit()
-                # noiseless + terminal measures: auto-dispatch picks
-                # the statevector engine (one evolution per circuit)
-                counts = execute(rc, shots, seed=rng)
-                tvds.append(tvd_to_reference(counts, expected))
-            points.append(
-                SweepPoint(
-                    benchmark=name,
-                    gate_limit=limit,
-                    mean_inserted=float(np.mean(inserted)),
-                    mean_tvd_obfuscated=float(np.mean(tvds)),
-                )
-            )
-    return points
+    """Noiseless obfuscated-TVD curve over insertion budgets.
+
+    *jobs* fans the (benchmark, limit) grid over a process pool;
+    results are bit-identical for any *jobs* value.  *split_jobs* and
+    *transpile_cache* are accepted for knob uniformity across
+    experiments but are no-ops here (the sweep never transpiles).
+    """
+    report = run_experiment(
+        "sweep_gate_limit",
+        {
+            "benchmarks": list(benchmarks) if benchmarks else None,
+            "gate_limits": list(gate_limits),
+            "iterations": iterations,
+            "shots": shots,
+            "seed": seed,
+        },
+        jobs=jobs,
+        split_jobs=split_jobs,
+        transpile_cache=transpile_cache,
+    )
+    return report.result
 
 
 def render_sweep(points: List[SweepPoint]) -> str:
@@ -95,13 +181,21 @@ def render_sweep(points: List[SweepPoint]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Obfuscation strength vs insertion budget"
+        description="Obfuscation strength vs insertion budget",
+        epilog="thin wrapper over `repro experiment run "
+        "sweep_gate_limit` — use that for checkpointed runs",
     )
     parser.add_argument("--iterations", type=int, default=10)
     parser.add_argument("--benchmarks", nargs="*")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers (deterministic for a fixed seed)",
+    )
     args = parser.parse_args(argv)
     points = run_gate_limit_sweep(
-        benchmarks=args.benchmarks, iterations=args.iterations
+        benchmarks=args.benchmarks,
+        iterations=args.iterations,
+        jobs=args.jobs,
     )
     print(render_sweep(points))
     return 0

@@ -7,7 +7,13 @@ after split compilation + restoration, and the accuracy change — the
 averages of 20 iterations at 1000 shots, exactly the procedure of
 Sec. V.
 
-Run as a script::
+The experiment is a registered :mod:`repro.experiments.framework`
+spec: one grid cell per (benchmark, iteration), seeded exactly like
+:func:`repro.experiments.runner.run_suite`, so checkpointed, resumed,
+sharded and parallel runs are all bit-identical to the historical
+sequential harness for a fixed seed.
+
+Run as a script (thin wrapper over ``repro experiment run table1``)::
 
     python -m repro.experiments.table1 [--iterations N] [--shots S]
 
@@ -21,12 +27,16 @@ gates, and accuracy change below ~1–2%.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..revlib.benchmarks import TABLE1_PAPER_VALUES, paper_suite
-from .runner import AggregateResult, run_suite
+import numpy as np
 
-__all__ = ["generate_table1", "render_table1", "main"]
+from ..core.pipeline import EvaluationResult
+from ..revlib.benchmarks import TABLE1_PAPER_VALUES, load_benchmark, paper_suite
+from .framework import Cell, ExecOptions, ExperimentSpec, register, run_experiment
+from .runner import AggregateResult, _evaluate_record
+
+__all__ = ["generate_table1", "render_table1", "main", "TABLE1_SPEC"]
 
 _COLUMNS = [
     ("Circuit", "name", "s"),
@@ -40,6 +50,97 @@ _COLUMNS = [
     ("AccΔ%", "accuracy_change_pct", ".2f"),
 ]
 
+
+# ---------------------------------------------------------------------------
+# framework spec
+# ---------------------------------------------------------------------------
+
+def _suite_names(config: Dict[str, Any]) -> List[str]:
+    names = [record.name for record in paper_suite()]
+    subset = config.get("benchmarks")
+    if subset:
+        unknown = sorted(set(subset) - set(names))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {', '.join(unknown)}; "
+                f"available: {names}"
+            )
+        names = [name for name in names if name in set(subset)]
+    return names
+
+
+def table_cells(config: Dict[str, Any]) -> List[Cell]:
+    """(benchmark, iteration) grid in ``run_suite``'s historical order.
+
+    Benchmark-major, iteration-minor — the positional seed spawned for
+    cell *i* matches what ``run_suite`` hands that same evaluation, so
+    framework results are bit-identical to the legacy path.
+    """
+    return [
+        Cell(f"{name}/{iteration}",
+             {"benchmark": name, "iteration": iteration})
+        for name in _suite_names(config)
+        for iteration in range(int(config["iterations"]))
+    ]
+
+
+def table_task(
+    config: Dict[str, Any],
+    cell: Cell,
+    seed: Optional[np.random.SeedSequence],
+    options: ExecOptions,
+) -> EvaluationResult:
+    """One pipeline evaluation — pure and picklable."""
+    record = load_benchmark(cell.params["benchmark"])
+    return _evaluate_record(
+        record,
+        shots=int(config["shots"]),
+        gate_limit=int(config["gate_limit"]),
+        seed=seed,
+        split_jobs=options.split_jobs,
+        transpile_cache=options.transpile_cache,
+    )
+
+
+def aggregate_table(
+    config: Dict[str, Any], results: Dict[str, Any]
+) -> Dict[str, AggregateResult]:
+    """Group per-cell evaluations back into Table I rows (suite order)."""
+    iterations = int(config["iterations"])
+    return {
+        name: AggregateResult(
+            name,
+            [results[f"{name}/{i}"] for i in range(iterations)],
+        )
+        for name in _suite_names(config)
+    }
+
+
+TABLE1_SPEC = register(
+    ExperimentSpec(
+        name="table1",
+        description="Table I: depth/gate overhead + noisy accuracy per "
+        "RevLib benchmark (Sec. V)",
+        defaults={
+            "iterations": 20,
+            "shots": 1000,
+            "seed": 2025,
+            "gate_limit": 4,
+            "benchmarks": None,
+        },
+        make_cells=table_cells,
+        task=table_task,
+        aggregate=aggregate_table,
+        render=lambda results: render_table1(results),
+        encode=lambda result: result.to_dict(),
+        decode=EvaluationResult.from_dict,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# back-compat wrappers
+# ---------------------------------------------------------------------------
 
 def generate_table1(
     iterations: int = 20,
@@ -57,18 +158,19 @@ def generate_table1(
     toggles compile reuse across iterations.  Results are identical for
     a fixed seed whatever the settings.
     """
-    records = paper_suite()
-    if benchmarks:
-        records = [r for r in records if r.name in set(benchmarks)]
-    return run_suite(
-        records,
-        iterations=iterations,
-        shots=shots,
-        seed=seed,
+    report = run_experiment(
+        "table1",
+        {
+            "iterations": iterations,
+            "shots": shots,
+            "seed": seed,
+            "benchmarks": list(benchmarks) if benchmarks else None,
+        },
         jobs=jobs,
         split_jobs=split_jobs,
         transpile_cache=transpile_cache,
     )
+    return report.result
 
 
 def render_table1(
@@ -99,7 +201,11 @@ def render_table1(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description="Regenerate Table I")
+    parser = argparse.ArgumentParser(
+        description="Regenerate Table I",
+        epilog="thin wrapper over `repro experiment run table1` — use "
+        "that for checkpointed / resumable / sharded runs",
+    )
     parser.add_argument("--iterations", type=int, default=20)
     parser.add_argument("--shots", type=int, default=1000)
     parser.add_argument("--seed", type=int, default=2025)

@@ -91,6 +91,17 @@ class Counts(dict):
         ordered = sorted(self.items(), key=lambda kv: (-kv[1], kv[0]))
         return tuple(ordered[:n])
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form preserving the declared-shots distinction."""
+        return {"counts": dict(self), "shots": self._declared_shots}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Counts":
+        """Inverse of :meth:`to_dict`; round-trips bit-identically."""
+        counts = {str(k): int(v) for k, v in dict(data["counts"]).items()}
+        shots = data.get("shots")
+        return cls(counts, shots=None if shots is None else int(shots))
+
 
 def remap_bits(
     outcomes: np.ndarray, bit_map: Sequence[Tuple[int, int]]

@@ -147,3 +147,67 @@ class TestExperimentShortcuts:
         assert code == 0
         out = capsys.readouterr().out
         assert "Saki" in out
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        code = main(["experiment", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "figure4", "sweep_gate_limit",
+                     "ablation_insertion", "attack_complexity"):
+            assert name in out
+        assert "parameters:" in out
+
+    def test_run_checkpoints_and_reports(self, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        args = ["experiment", "run", "attack_complexity",
+                "--set", "qubit_counts=[4,5]", "--set", "nmax_values=[5]",
+                "--store", store, "--quiet"]
+        code = main(args)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 cell(s), 0 reused, 3 computed" in out
+        assert "Saki" in out and "Brute-force" in out
+
+        # resume: everything comes from the checkpoint
+        code = main(["experiment", "resume", "attack_complexity",
+                     "--set", "qubit_counts=[4,5]", "--set",
+                     "nmax_values=[5]", "--store", store, "--quiet"])
+        assert code == 0
+        assert "3 reused, 0 computed" in capsys.readouterr().out
+
+        # report renders from the store without recomputing
+        code = main(["experiment", "report", "attack_complexity",
+                     "--set", "qubit_counts=[4,5]", "--set",
+                     "nmax_values=[5]", "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Saki" in out and "Brute-force" in out
+
+    def test_sharded_run_then_report(self, tmp_path, capsys):
+        store = str(tmp_path / "results")
+        base = ["--set", "qubit_counts=[4]", "--set", "nmax_values=[5,27]",
+                "--store", store, "--quiet"]
+        code = main(["experiment", "run", "attack_complexity",
+                     "--shard", "0/2"] + base)
+        assert code == 0
+        assert "shard incomplete" in capsys.readouterr().out
+        code = main(["experiment", "report", "attack_complexity"] + base[:-1])
+        assert code == 1  # incomplete -> non-zero, resume hint on stderr
+        assert "missing" in capsys.readouterr().err
+        code = main(["experiment", "run", "attack_complexity",
+                     "--shard", "1/2"] + base)
+        assert code == 0
+        assert "Brute-force" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        code = main(["experiment", "run", "nope"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_parameter_fails_cleanly(self, capsys):
+        code = main(["experiment", "run", "attack_complexity",
+                     "--iterations", "3"])
+        assert code == 2
+        assert "no 'iterations' parameter" in capsys.readouterr().err
