@@ -9,7 +9,9 @@ Reproduces the security argument of the paper's Sec. IV-C:
 * against TetrisLock's interlocking split the segments expose
   different qubit counts and hold half of every random pair, so the
   candidate space explodes (Eq. 1) and even a correct matching of the
-  visible segment is functionally wrong without R†.
+  visible segment is functionally wrong without R† — we execute that
+  mismatched-width search too (repro.attacks), streaming Eq. 1's
+  subset matchings with structural prefiltering.
 
 Run:  python examples/colluding_attack.py
 """
@@ -22,6 +24,12 @@ from repro import (
     interlocking_split,
     saki_attack_complexity,
     tetrislock_attack_complexity,
+)
+from repro.attacks import (
+    SearchOptions,
+    find_mismatched_split,
+    get_attack,
+    problem_from_split,
 )
 from repro.baselines import saki_split
 from repro.revlib import benchmark_circuit
@@ -43,13 +51,9 @@ def attack_interlocking_split(name: str) -> None:
     print(f"=== TetrisLock interlocking split of {name} ===")
     circuit = benchmark_circuit(name)
     insertion = insert_random_pairs(circuit, gate_limit=4, seed=2)
-    split = None
-    for seed in range(40):
-        candidate = interlocking_split(insertion, seed=seed)
-        if candidate.mismatched_qubits:
-            split = candidate
-            break
-    split = split or interlocking_split(insertion, seed=0)
+    split = find_mismatched_split(insertion) or interlocking_split(
+        insertion, seed=0
+    )
     n1, n2 = split.qubit_counts
     print(f"segment qubit counts: {n1} vs {n2} "
           f"(mismatched: {split.mismatched_qubits})")
@@ -60,6 +64,15 @@ def attack_interlocking_split(name: str) -> None:
     print(f"qubit-matching candidates for this pair alone: "
           f"{attack.candidate_count()} "
           f"(straight split: {math.factorial(circuit.num_qubits)})")
+
+    # actually run Eq. 1's subset-matching search on this pair: the
+    # generous oracle tells the attacker when a candidate is right
+    outcome = get_attack("mismatched").search(
+        problem_from_split(split), SearchOptions()
+    )
+    print(f"executed search: {outcome.candidates_tried} simulated, "
+          f"{outcome.pruned} structurally pruned, "
+          f"{outcome.matches} functional match(es)")
 
     # even with perfect knowledge, one compiler's share computes the
     # wrong function because its random gates are uncancelled

@@ -20,6 +20,9 @@ Public API tour
 * :mod:`repro.core` — **TetrisLock itself**: Algorithm 1 insertion,
   interlocking split, split compilation, de-obfuscation, Eq. 1
   attack complexity.
+* :mod:`repro.attacks` — **the adversary subsystem**: the attack
+  registry and the executable brute-force collusion attacks (same
+  width and Eq. 1 mismatched width), with streaming parallel search.
 * :mod:`repro.baselines` — Saki cascading split and Das random
   insertion, for comparison.
 * :mod:`repro.metrics` — TVD (Eq. 2), accuracy, overhead.
@@ -45,6 +48,14 @@ automatic (see :func:`repro.execution.run`):
 100
 """
 
+from .attacks import (
+    available_attacks,
+    get_attack,
+    problem_from_saki,
+    problem_from_split,
+    register_attack,
+    select_attack,
+)
 from .circuits import QuantumCircuit
 from .execution import (
     available_engines,
@@ -84,6 +95,12 @@ __all__ = [
     "saki_attack_complexity",
     "tetrislock_attack_complexity",
     "BruteForceCollusionAttack",
+    "available_attacks",
+    "get_attack",
+    "register_attack",
+    "select_attack",
+    "problem_from_saki",
+    "problem_from_split",
     "fake_valencia",
     "valencia_like_backend",
     "benchmark_circuit",

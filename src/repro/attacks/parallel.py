@@ -1,0 +1,252 @@
+"""Chunked streaming search over a candidate-matching stream.
+
+The candidate space is sliced into fixed-size chunks of the canonical
+enumeration (``[0, chunk), [chunk, 2*chunk), ...``).  Each chunk is an
+independent, picklable unit of work: a worker re-derives the lazy
+stream, skips to its slice, and evaluates it — prefilter, recombine,
+oracle check — returning per-candidate records.  Nothing the size of
+the full space is ever materialised, in the parent or in any worker.
+
+Determinism contract (the part the tests pin):
+
+* chunk *contents* depend only on the canonical enumeration order, so
+  evaluating a chunk is a pure function of (problem, kind, range);
+* the **dispatch order** of chunks is the identity permutation, or a
+  :class:`numpy.random.SeedSequence`-seeded shuffle when
+  ``SearchOptions.seed`` is set — deterministic either way;
+* full searches aggregate *every* chunk and sort records by candidate
+  index, so sequential and ``jobs=N`` runs are bit-identical;
+* early-exit searches aggregate exactly the dispatch-order prefix up
+  to and including the first chunk containing a match.  The parallel
+  path never cancels a chunk at or before the current cutoff and
+  discards results beyond it, so it computes the same prefix the
+  sequential path stops at — early exit is bit-identical too (workers
+  may *evaluate* extra chunks; their results are discarded, only wall
+  clock differs).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .base import AttackOutcome, CandidateOutcome, SearchOptions
+from .matching import matching_count, matching_slice, recombine_candidate
+from .oracle import EquivalenceOracle
+from .prefilter import StructuralPrefilter
+from .problem import CollusionProblem
+
+__all__ = ["run_streaming_search"]
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Everything one worker needs to evaluate a stream slice."""
+
+    segment1: QuantumCircuit
+    segment2: QuantumCircuit
+    oracle: QuantumCircuit
+    kind: str
+    start: int
+    stop: int
+    prefilter: bool
+    use_truth_table: Optional[bool]
+    record_all: bool
+
+
+@dataclass(frozen=True)
+class _ChunkReport:
+    tried: int
+    pruned: int
+    records: Tuple[CandidateOutcome, ...]
+
+    @property
+    def has_match(self) -> bool:
+        return any(record.functional_match for record in self.records)
+
+
+def _chunk_context(
+    task: _ChunkTask,
+) -> Tuple[EquivalenceOracle, Optional[StructuralPrefilter]]:
+    """Build the per-problem state a chunk evaluation needs."""
+    oracle = EquivalenceOracle(
+        task.oracle, use_truth_table=task.use_truth_table
+    )
+    prefilter = (
+        StructuralPrefilter(task.segment1, task.segment2, task.oracle)
+        if task.prefilter
+        else None
+    )
+    return oracle, prefilter
+
+
+def _evaluate_chunk(
+    task: _ChunkTask,
+    context: Optional[
+        Tuple[EquivalenceOracle, Optional[StructuralPrefilter]]
+    ] = None,
+) -> _ChunkReport:
+    """Evaluate one slice of the candidate stream (pool-picklable).
+
+    Pool workers rebuild the oracle/prefilter per chunk (cheap,
+    amortised over the chunk); the sequential path passes a shared
+    *context* so reference tables and segment profiles are derived
+    once per search.
+    """
+    n1 = task.segment1.num_qubits
+    n2 = task.segment2.num_qubits
+    oracle, prefilter = context or _chunk_context(task)
+    tried = 0
+    pruned = 0
+    records: List[CandidateOutcome] = []
+    for matching in matching_slice(
+        task.kind, n1, n2, task.start, task.stop
+    ):
+        if prefilter is not None and not prefilter.admits(matching):
+            pruned += 1
+            continue
+        candidate = recombine_candidate(
+            task.segment1,
+            task.segment2,
+            matching.mapping_dict(),
+            matching.num_qubits,
+        )
+        ok = oracle.check(candidate)
+        tried += 1
+        if ok or task.record_all:
+            records.append(
+                CandidateOutcome(
+                    index=matching.index,
+                    mapping=matching.mapping,
+                    num_qubits=matching.num_qubits,
+                    functional_match=ok,
+                )
+            )
+    return _ChunkReport(tried=tried, pruned=pruned, records=tuple(records))
+
+
+def _dispatch_order(
+    num_chunks: int, seed: Optional[int]
+) -> Sequence[int]:
+    if seed is None:
+        return range(num_chunks)
+    rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+    return [int(i) for i in rng.permutation(num_chunks)]
+
+
+def _aggregate(
+    attack_name: str,
+    search_space: int,
+    reports: Sequence[_ChunkReport],
+    early_exit: bool,
+) -> AttackOutcome:
+    records = sorted(
+        (record for report in reports for record in report.records),
+        key=lambda record: record.index,
+    )
+    return AttackOutcome(
+        attack=attack_name,
+        search_space=search_space,
+        candidates_tried=sum(report.tried for report in reports),
+        pruned=sum(report.pruned for report in reports),
+        matches=sum(
+            1 for record in records if record.functional_match
+        ),
+        results=records,
+        early_exit=early_exit,
+    )
+
+
+def run_streaming_search(
+    problem: CollusionProblem,
+    kind: str,
+    attack_name: str,
+    options: SearchOptions,
+) -> AttackOutcome:
+    """Search *problem*'s candidate stream under *options*."""
+    if options.jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if options.chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    n1, n2 = problem.widths
+    total = matching_count(kind, n1, n2)
+    if total > options.max_candidates:
+        raise ValueError(
+            f"{total} candidates exceed the cap "
+            f"{options.max_candidates}; raise "
+            f"SearchOptions.max_candidates to search anyway"
+        )
+    chunk = options.chunk_size
+    ranges = [
+        (start, min(start + chunk, total))
+        for start in range(0, total, chunk)
+    ]
+    tasks = [
+        _ChunkTask(
+            segment1=problem.segment1,
+            segment2=problem.segment2,
+            oracle=problem.oracle,
+            kind=kind,
+            start=start,
+            stop=stop,
+            prefilter=options.prefilter,
+            use_truth_table=options.use_truth_table,
+            record_all=options.record_all,
+        )
+        for start, stop in ranges
+    ]
+    order = _dispatch_order(len(tasks), options.seed)
+
+    if options.jobs == 1 or len(tasks) <= 1:
+        context = _chunk_context(tasks[0]) if tasks else None
+        reports: List[_ChunkReport] = []
+        for position in order:
+            report = _evaluate_chunk(tasks[position], context)
+            reports.append(report)
+            if options.early_exit and report.has_match:
+                break
+        return _aggregate(
+            attack_name, total, reports, early_exit=options.early_exit
+        )
+
+    workers = min(options.jobs, len(tasks))
+    completed: Dict[int, _ChunkReport] = {}  # dispatch position -> report
+    cutoff: Optional[int] = None  # first matching dispatch position
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers
+    ) as pool:
+        futures = {
+            pool.submit(_evaluate_chunk, tasks[chunk_index]): position
+            for position, chunk_index in enumerate(order)
+        }
+        for future in concurrent.futures.as_completed(futures):
+            if future.cancelled():
+                continue
+            position = futures[future]
+            report = future.result()
+            completed[position] = report
+            if not options.early_exit:
+                continue
+            if report.has_match and (cutoff is None or position < cutoff):
+                cutoff = position
+                # chunks past the cutoff can only waste work; chunks at
+                # or before it must still finish for bit-identity with
+                # the sequential prefix
+                for other, other_position in futures.items():
+                    if other_position > cutoff:
+                        other.cancel()
+        if options.early_exit and cutoff is not None:
+            kept = [
+                completed[position]
+                for position in sorted(completed)
+                if position <= cutoff
+            ]
+        else:
+            kept = [completed[position] for position in sorted(completed)]
+    return _aggregate(
+        attack_name, total, kept, early_exit=options.early_exit
+    )

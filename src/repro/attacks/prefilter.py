@@ -1,0 +1,136 @@
+"""Cheap structural prefilters for the candidate-matching search.
+
+Building and checking a candidate costs ``O(gates * 2^n)`` at best
+(truth table) and ``O(4^n)`` at worst (unitary).  Most matchings can
+be rejected far cheaper from structure alone: a matching is only worth
+simulating when the candidate it induces *looks like* the reference —
+same per-qubit gate histogram, same interaction-graph edge multiset.
+
+Both filters compare against the oracle's reference circuit, which is
+the same generosity assumption the oracle itself makes (see
+:mod:`repro.attacks.oracle`).  They are **necessary conditions for
+structural identity, not for functional equivalence**: a wrong
+matching whose candidate happens to compute the right function through
+*different* gate structure would be pruned, so match counts with
+prefiltering enabled can undercount exotic ties.  The ground-truth
+matching always survives — its candidate is the reference circuit
+instruction for instruction — so attack *success* is never filtered
+away.  Disable prefiltering (``SearchOptions(prefilter=False)``) for
+exact per-candidate accounting.
+
+Neither filter ever builds a circuit: segment histograms are profiled
+once, and each matching is checked by combining precomputed per-qubit
+signatures through the proposed slot assignment — ``O(n + edges)``
+dictionary work per candidate, no simulation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .matching import Matching
+
+__all__ = ["StructuralPrefilter", "edge_histogram", "qubit_histograms"]
+
+
+def qubit_histograms(circuit: QuantumCircuit) -> List[Counter]:
+    """Per-qubit multiset of ``(gate name, operand position)`` pairs.
+
+    Position matters: a CX control and a CX target are different roles
+    and must stay distinguishable under relabelling.
+    """
+    histograms: List[Counter] = [Counter() for _ in range(circuit.num_qubits)]
+    for inst in circuit:
+        if not inst.is_gate:
+            continue
+        for position, qubit in enumerate(inst.qubits):
+            histograms[qubit][(inst.name, position)] += 1
+    return histograms
+
+
+def edge_histogram(circuit: QuantumCircuit) -> Counter:
+    """Multiset of ``(gate name, operand tuple)`` for multi-qubit gates.
+
+    Operand order is preserved (control vs target), so this is the
+    labelled interaction multigraph of the circuit.
+    """
+    edges: Counter = Counter()
+    for inst in circuit:
+        if inst.is_gate and len(inst.qubits) >= 2:
+            edges[(inst.name, inst.qubits)] += 1
+    return edges
+
+
+class StructuralPrefilter:
+    """Rejects matchings whose candidate cannot equal the reference
+    structurally.
+
+    Two stages, cheapest first:
+
+    1. **gate-histogram compatibility** — every candidate slot's
+       combined per-qubit histogram (segment 1's plus the mapped
+       segment-2 qubit's) must equal the reference's histogram for
+       that slot;
+    2. **interaction-graph compatibility** — the candidate's labelled
+       edge multiset (segment-1 edges plus segment-2 edges pushed
+       through the mapping) must equal the reference's.
+    """
+
+    def __init__(
+        self,
+        segment1: QuantumCircuit,
+        segment2: QuantumCircuit,
+        reference: QuantumCircuit,
+    ) -> None:
+        self._h1 = qubit_histograms(segment1)
+        self._h2 = qubit_histograms(segment2)
+        self._n1 = segment1.num_qubits
+        self._reference_width = reference.num_qubits
+        self._ref_hist = qubit_histograms(reference)
+        self._empty: Counter = Counter()
+        self._e1 = edge_histogram(segment1)
+        self._seg2_edges: List[Tuple[str, Tuple[int, ...]]] = [
+            (inst.name, inst.qubits)
+            for inst in segment2
+            if inst.is_gate and len(inst.qubits) >= 2
+        ]
+        self._ref_edges = edge_histogram(reference)
+
+    # ------------------------------------------------------------------
+    def _reference_histogram(self, slot: int) -> Counter:
+        if slot < self._reference_width:
+            return self._ref_hist[slot]
+        return self._empty
+
+    def admits(self, matching: Matching) -> bool:
+        """True when the matching survives both structural filters."""
+        lookup: Dict[int, int] = dict(matching.mapping)
+        width = max(matching.num_qubits, self._reference_width)
+
+        seg2_at: Dict[int, Counter] = {
+            slot: self._h2[q2] for q2, slot in matching.mapping
+        }
+        for slot in range(width):
+            h1 = self._h1[slot] if slot < self._n1 else self._empty
+            h2 = seg2_at.get(slot, self._empty)
+            expected = self._reference_histogram(slot)
+            if not h2:
+                if h1 != expected:
+                    return False
+            elif not h1:
+                if h2 != expected:
+                    return False
+            elif h1 + h2 != expected:
+                return False
+
+        if self._seg2_edges or self._e1 or self._ref_edges:
+            candidate_edges = Counter(self._e1)
+            for name, qubits in self._seg2_edges:
+                candidate_edges[
+                    (name, tuple(lookup[q] for q in qubits))
+                ] += 1
+            if candidate_edges != self._ref_edges:
+                return False
+        return True

@@ -48,6 +48,12 @@ class Instruction:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Instruction is immutable")
 
+    def __reduce__(self):
+        # default slots-based unpickling would go through the blocked
+        # __setattr__; rebuild through __init__ instead so instructions
+        # (and thus circuits) survive process-pool round trips
+        return (Instruction, (self.operation, self.qubits, self.clbits))
+
     @property
     def name(self) -> str:
         return self.operation.name

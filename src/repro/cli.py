@@ -16,14 +16,19 @@ design before sending it to third-party compilers:
 * ``transpile`` — compile a circuit for a device through the preset
   pass schedule and report per-pass wall times plus transpile-cache
   statistics (``--no-transpile-cache`` forces a fresh compile).
+* ``attack`` — run a registered adversary model from
+  :mod:`repro.attacks` against a real split pair (straight Saki cut
+  or obfuscate+interlocking cut) of a benchmark or circuit file, with
+  ``--jobs`` parallel search, prefilter and early-exit knobs.
 * ``experiment`` — the unified experiment framework:
   ``repro experiment list|run|resume|report`` runs any registered
   experiment grid with persistent JSONL checkpoints under
   ``results/``, exact resume after an interruption, ``--shard i/n``
   splitting for multi-machine runs, and uniform ``--jobs`` /
   ``--split-jobs`` / ``--no-transpile-cache`` knobs.
-* ``table1`` / ``figure4`` / ``attack`` — shortcut to the experiment
-  harnesses (extra flags such as ``--jobs`` pass straight through).
+* ``table1`` / ``figure4`` / ``attack-complexity`` — shortcut to the
+  experiment harnesses (extra flags such as ``--jobs`` pass straight
+  through).
 """
 
 from __future__ import annotations
@@ -222,6 +227,88 @@ def _cmd_transpile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    import time
+
+    from .attacks import (
+        SearchOptions,
+        available_attacks,
+        get_attack,
+        problem_from_saki,
+        problem_from_split,
+        select_attack,
+    )
+    from .baselines.saki_split import saki_split
+    from .core import insert_random_pairs, interlocking_split
+    from .revlib.benchmarks import benchmark_circuit
+
+    if args.list_adversaries:
+        for name in available_attacks():
+            print(name)
+        return 0
+    try:
+        if args.circuit is not None:
+            circuit = _load_circuit(args.circuit)
+        else:
+            circuit = benchmark_circuit(args.benchmark)
+        circuit = circuit.remove_final_measurements()
+        if args.adversary == "same-width":
+            # the prior-work scenario: straight cut, full-width segments
+            split = saki_split(circuit, seed=args.seed)
+            problem = problem_from_saki(split)
+        else:
+            # the TetrisLock scenario: obfuscate, then interlocking cut
+            insertion = insert_random_pairs(
+                circuit, gate_limit=args.gate_limit, seed=args.seed
+            )
+            problem = problem_from_split(
+                interlocking_split(insertion, seed=args.seed)
+            )
+        attack = (
+            select_attack(problem)
+            if args.adversary == "auto"
+            else get_attack(args.adversary)
+        )
+        options = SearchOptions(
+            max_candidates=args.max_candidates,
+            prefilter=not args.no_prefilter,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            early_exit=args.early_exit,
+            seed=args.search_seed,
+        )
+        started = time.perf_counter()
+        outcome = attack.search(problem, options)
+        elapsed = time.perf_counter() - started
+    except (KeyError, ValueError, RuntimeError, OSError) as exc:
+        # OSError.args[0] is the bare errno — str() keeps the filename
+        message = (
+            str(exc)
+            if isinstance(exc, OSError)
+            else exc.args[0] if exc.args else str(exc)
+        )
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    n1, n2 = problem.widths
+    print(f"target:    {problem.description}")
+    print(f"adversary: {outcome.attack}  segments: {n1}x{n2} qubits "
+          f"({'mismatched' if problem.mismatched else 'same width'})")
+    print(f"search:    {outcome.candidates_tried} tried, "
+          f"{outcome.pruned} pruned of {outcome.search_space} "
+          f"candidates ({elapsed * 1e3:.1f} ms, jobs={args.jobs}"
+          f"{', early exit' if outcome.early_exit else ''})")
+    first = outcome.first_match
+    if first is not None:
+        mapping = ", ".join(
+            f"{src}->{dst}" for src, dst in first.mapping
+        )
+        print(f"matches:   {outcome.matches} functional match(es); "
+              f"first at candidate {first.index} ({mapping})")
+    print(f"verdict:   attack "
+          f"{'succeeds' if outcome.success else 'fails'}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="TetrisLock split compilation toolkit"
@@ -293,6 +380,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     transpile_cmd.set_defaults(func=_cmd_transpile)
 
+    attack = sub.add_parser(
+        "attack",
+        help="run a registered adversary model against a split pair",
+    )
+    target = attack.add_mutually_exclusive_group()
+    target.add_argument(
+        "--benchmark", default="4gt13",
+        help="RevLib benchmark to protect and attack",
+    )
+    target.add_argument(
+        "--circuit", default=None,
+        help=".qasm or .real input instead of a named benchmark",
+    )
+    attack.add_argument(
+        "--adversary", default="auto",
+        choices=("auto", "same-width", "mismatched"),
+        help="attack registry entry: 'same-width' brute-forces a "
+        "straight Saki split, 'mismatched' the obfuscated "
+        "interlocking split (Eq. 1); 'auto' picks the cheapest "
+        "supporting attack for the interlocking split",
+    )
+    attack.add_argument("--seed", type=int, default=0,
+                        help="obfuscation/split seed")
+    attack.add_argument("--gate-limit", type=int, default=4,
+                        help="inserted-pair budget before splitting")
+    attack.add_argument("--jobs", type=int, default=1,
+                        help="parallel search processes")
+    attack.add_argument("--chunk-size", type=int, default=256,
+                        help="candidates per worker task")
+    attack.add_argument("--max-candidates", type=int, default=500_000,
+                        help="refuse searches larger than this")
+    attack.add_argument(
+        "--no-prefilter", action="store_true",
+        help="disable structural pruning (exact per-candidate counts)",
+    )
+    attack.add_argument(
+        "--early-exit", action="store_true",
+        help="stop after the first functional match",
+    )
+    attack.add_argument(
+        "--search-seed", type=int, default=None,
+        help="deterministic shuffle of the chunk dispatch order",
+    )
+    attack.add_argument(
+        "--list-adversaries", action="store_true",
+        help="print registered attack names and exit",
+    )
+    attack.set_defaults(func=_cmd_attack)
+
     # add_help=False on the forwarding stubs: -h lands in `extra` and
     # reaches the real parser, so `repro experiment run -h` shows the
     # framework's help instead of the stub's empty usage line
@@ -307,7 +443,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name, module in [
         ("table1", "table1"),
         ("figure4", "figure4"),
-        ("attack", "attack_complexity"),
+        ("attack-complexity", "attack_complexity"),
     ]:
         shortcut = sub.add_parser(
             name, add_help=False,

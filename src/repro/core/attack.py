@@ -24,6 +24,11 @@ floats quickly).  :class:`BruteForceCollusionAttack` additionally
 matchings between two segments, recombine, and count functional
 matches — the experiment behind the paper's claim that same-width
 splits are brute-forceable on NISQ-sized devices.
+
+This module is the *counting* side of Sec. IV-C plus the legacy
+same-width executor.  The full adversary subsystem — the registry, the
+mismatched-width Eq. 1 search, prefilters and parallel streaming —
+lives in :mod:`repro.attacks`.
 """
 
 from __future__ import annotations
@@ -31,7 +36,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import permutations
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..circuits.circuit import QuantumCircuit
 from ..simulator.unitary import circuit_unitary, equal_up_to_global_phase
@@ -71,16 +85,24 @@ def tetrislock_attack_complexity(
         split can have any size up to this).
     k:
         Candidate segment count per size: a constant, a sequence
-        ``k[i-1]`` for size ``i``, or a callable ``k(i)``.
+        ``k[i-1]`` for size ``i`` (its length must equal *nmax*), or a
+        callable ``k(i)``.
     """
     if n < 0 or nmax < 1:
         raise ValueError("n must be >= 0 and nmax >= 1")
+    if isinstance(k, (list, tuple)) and len(k) != nmax:
+        # a short sequence used to zero-fill silently, quietly
+        # understating the reported search space
+        raise ValueError(
+            f"k sequence has {len(k)} entries but Eq. 1 sums sizes "
+            f"1..{nmax}; provide exactly one k per size"
+        )
 
     def k_of(i: int) -> int:
         if callable(k):
             return int(k(i))
         if isinstance(k, (list, tuple)):
-            return int(k[i - 1]) if i - 1 < len(k) else 0
+            return int(k[i - 1])
         return int(k)
 
     total = 0
@@ -154,23 +176,45 @@ class BruteForceCollusionAttack:
             )
         return total
 
-    def enumerate_matchings(self) -> List[Dict[int, int]]:
-        """All bijections seg2-qubit -> seg1-qubit (same-width case)."""
+    def iter_matchings(self) -> Iterator[Dict[int, int]]:
+        """Lazily yield bijections seg2-qubit -> seg1-qubit.
+
+        The ``n!``-sized mapping list is never materialised;
+        ``max_candidates`` is enforced during iteration, so even a
+        hand-rolled loop over this stream fails loudly instead of
+        silently over-searching.
+        """
         n1, n2 = self.segment1.num_qubits, self.segment2.num_qubits
         if n1 != n2:
             raise ValueError(
                 "exhaustive enumeration implemented for equal widths; "
-                "use candidate_count() for the mismatched-size space"
+                "use repro.attacks' 'mismatched' attack to search the "
+                "Eq. 1 space, or candidate_count() to size it"
             )
-        if math.factorial(n1) > self.max_candidates:
+        for count, perm in enumerate(permutations(range(n1))):
+            if count >= self.max_candidates:
+                raise ValueError(
+                    f"{math.factorial(n1)} candidates exceed the cap "
+                    f"{self.max_candidates}"
+                )
+            yield {src: dst for src, dst in enumerate(perm)}
+
+    def enumerate_matchings(self) -> List[Dict[int, int]]:
+        """All bijections as an eager list (back-compat; prefer
+        :meth:`iter_matchings` — this materialises all ``n!`` dicts)."""
+        self._check_cap()
+        return list(self.iter_matchings())
+
+    def _check_cap(self) -> None:
+        n1 = self.segment1.num_qubits
+        if (
+            self.segment1.num_qubits == self.segment2.num_qubits
+            and math.factorial(n1) > self.max_candidates
+        ):
             raise ValueError(
                 f"{math.factorial(n1)} candidates exceed the cap "
                 f"{self.max_candidates}"
             )
-        return [
-            {src: dst for src, dst in enumerate(perm)}
-            for perm in permutations(range(n1))
-        ]
 
     def recombine(self, mapping: Dict[int, int]) -> QuantumCircuit:
         """Candidate circuit: segment 1, then remapped segment 2."""
@@ -191,6 +235,16 @@ class BruteForceCollusionAttack:
         by default it is used when every gate is classical-reversible,
         falling back to unitary comparison otherwise.
         """
+        n1, n2 = self.segment1.num_qubits, self.segment2.num_qubits
+        if max(n1, n2) > original.num_qubits:
+            # the padding branch below only ever widens candidates to
+            # the original register; a segment wider than the register
+            # can only produce a nonsense comparison
+            raise ValueError(
+                f"segments ({n1} and {n2} qubits) do not fit inside "
+                f"the {original.num_qubits}-qubit original register"
+            )
+        self._check_cap()
         if use_truth_table is None:
             use_truth_table = _is_reversible(
                 original
@@ -205,7 +259,7 @@ class BruteForceCollusionAttack:
         )
         results: List[MatchingResult] = []
         matches = 0
-        for mapping in self.enumerate_matchings():
+        for mapping in self.iter_matchings():
             candidate = self.recombine(mapping)
             if candidate.num_qubits != original.num_qubits:
                 padded = QuantumCircuit(original.num_qubits)

@@ -25,7 +25,14 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.dag import CircuitDag
 from .insertion import InsertionResult
-from .split import SplitResult, SplitSegment, _extract_segment, interlocking_split
+from .split import (
+    SplitBoundary,
+    SplitResult,
+    SplitSegment,
+    _extract_segment,
+    interlocking_split,
+    segment_boundary,
+)
 
 __all__ = ["MultiwaySplitResult", "multiway_split"]
 
@@ -57,6 +64,19 @@ class MultiwaySplitResult:
             for index in segment.instruction_indices:
                 out.extend([obf[index]])
         return out
+
+    def boundaries(self) -> List[SplitBoundary]:
+        """Boundary metadata between each pair of consecutive segments.
+
+        Entry ``i`` describes the cut between segment ``i`` and segment
+        ``i + 1`` — the per-pair view a colluding subset of compilers
+        would attack with :mod:`repro.attacks`.
+        """
+        n = self.insertion.obfuscated.num_qubits
+        return [
+            segment_boundary(a, b, n)
+            for a, b in zip(self.segments, self.segments[1:])
+        ]
 
     def max_exposure(self) -> float:
         """Largest fraction of original gates any one compiler sees."""

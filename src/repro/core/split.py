@@ -31,7 +31,13 @@ from ..circuits.dag import CircuitDag, layer_assignment
 from ..circuits.instruction import Instruction
 from .insertion import InsertionResult, ROLE_R, ROLE_RDG
 
-__all__ = ["SplitResult", "SplitSegment", "interlocking_split"]
+__all__ = [
+    "SplitBoundary",
+    "SplitResult",
+    "SplitSegment",
+    "interlocking_split",
+    "segment_boundary",
+]
 
 
 @dataclass
@@ -53,6 +59,77 @@ class SplitSegment:
             f"SplitSegment(qubits={self.num_active_qubits}, "
             f"gates={self.compact.size()})"
         )
+
+
+@dataclass(frozen=True)
+class SplitBoundary:
+    """Adversary-relevant metadata of one segment boundary.
+
+    This is what the Eq. 1 subset matcher consumes: the per-segment
+    active-qubit sets (original register indices) and the qubits that
+    cross the boundary — active in both segments — given as pairs of
+    *compact* indices, one per side.  Everything an attacker must
+    guess, and everything the generous oracle knows.
+    """
+
+    num_qubits: int  # original register width
+    seg1_active: Tuple[int, ...]  # original indices, sorted
+    seg2_active: Tuple[int, ...]
+    shared_qubits: Tuple[int, ...]  # original indices crossing the cut
+    crossing_pairs: Tuple[Tuple[int, int], ...]  # (seg1 compact, seg2 compact)
+
+    @property
+    def widths(self) -> Tuple[int, int]:
+        return (len(self.seg1_active), len(self.seg2_active))
+
+    @property
+    def mismatched(self) -> bool:
+        a, b = self.widths
+        return a != b
+
+    @property
+    def candidate_width(self) -> int:
+        """Register width of the true recombination in the attacker
+        frame: segment-1 qubits plus one fresh ancilla per unmatched
+        segment-2 qubit."""
+        n1, n2 = self.widths
+        return n1 + n2 - len(self.shared_qubits)
+
+    def true_matching(self) -> Dict[int, int]:
+        """Ground-truth seg2-compact -> candidate-slot assignment.
+
+        Crossing qubits land on their segment-1 compact slot; the
+        remaining segment-2 qubits take fresh ancillas ``n1, n1+1,
+        ...`` in ascending compact order — the same convention the
+        candidate enumeration in :mod:`repro.attacks.matching` uses,
+        so this mapping is one of the enumerated candidates.
+        """
+        n1 = len(self.seg1_active)
+        mapping = {c2: c1 for c1, c2 in self.crossing_pairs}
+        ancilla = n1
+        for q2 in range(len(self.seg2_active)):
+            if q2 not in mapping:
+                mapping[q2] = ancilla
+                ancilla += 1
+        return mapping
+
+
+def segment_boundary(
+    segment1: SplitSegment, segment2: SplitSegment, num_qubits: int
+) -> SplitBoundary:
+    """Boundary metadata between two segments of one split."""
+    shared = sorted(
+        set(segment1.active_qubits) & set(segment2.active_qubits)
+    )
+    inv1 = {o: c for c, o in segment1.compact_to_original.items()}
+    inv2 = {o: c for c, o in segment2.compact_to_original.items()}
+    return SplitBoundary(
+        num_qubits=num_qubits,
+        seg1_active=tuple(segment1.active_qubits),
+        seg2_active=tuple(segment2.active_qubits),
+        shared_qubits=tuple(shared),
+        crossing_pairs=tuple((inv1[q], inv2[q]) for q in shared),
+    )
 
 
 @dataclass
@@ -77,6 +154,15 @@ class SplitResult:
         """True when the segments expose different qubit counts."""
         a, b = self.qubit_counts
         return a != b
+
+    def boundary(self) -> SplitBoundary:
+        """Boundary metadata (active sets + crossing pairs) for the
+        subset matcher in :mod:`repro.attacks`."""
+        return segment_boundary(
+            self.segment1,
+            self.segment2,
+            self.insertion.obfuscated.num_qubits,
+        )
 
     def recombined(self) -> QuantumCircuit:
         """Logical de-obfuscation: segment 1 then segment 2.

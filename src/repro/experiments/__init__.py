@@ -11,6 +11,9 @@ wrappers.
 * :mod:`repro.experiments.figure4` — Figure 4 (TVD distributions).
 * :mod:`repro.experiments.attack_complexity` — Eq. 1 comparison and
   the concrete brute-force collusion attack.
+* :mod:`repro.experiments.attack_bruteforce` — the executed collusion
+  attack: real split pairs searched end to end by the registered
+  adversary models of :mod:`repro.attacks`.
 * :mod:`repro.experiments.ablation_insertion` — insertion-strategy
   ablation (empty-slot vs block prepend).
 * :mod:`repro.experiments.sweep_gate_limit` — obfuscation strength vs
@@ -22,6 +25,11 @@ Importing this package registers all built-in specs; use
 
 from .ablation_insertion import render_ablation, run_ablation
 from .sweep_gate_limit import render_sweep, run_gate_limit_sweep
+from .attack_bruteforce import (
+    AttackRow,
+    render_attack_bruteforce,
+    run_attack_cell,
+)
 from .attack_complexity import (
     demo_bruteforce_attack,
     generate_complexity_table,
@@ -54,6 +62,9 @@ __all__ = [
     "generate_complexity_table",
     "render_complexity_table",
     "demo_bruteforce_attack",
+    "AttackRow",
+    "render_attack_bruteforce",
+    "run_attack_cell",
     "run_ablation",
     "render_ablation",
     "run_gate_limit_sweep",

@@ -57,6 +57,18 @@ class TestEquation1:
         )
         assert value == inner
 
+    def test_k_sequence_length_mismatch_raises(self):
+        """A short k used to zero-fill, silently understating Eq. 1
+        (k=[1,1] with nmax=5 reported 17 instead of 260 for k=1)."""
+        with pytest.raises(ValueError, match="one k per size"):
+            tetrislock_attack_complexity(4, 5, [1, 1])
+        with pytest.raises(ValueError, match="one k per size"):
+            tetrislock_attack_complexity(4, 2, [1, 1, 1])
+        # exact-length sequences keep working
+        assert tetrislock_attack_complexity(4, 5, [1] * 5) == (
+            tetrislock_attack_complexity(4, 5, 1)
+        )
+
     def test_k_as_callable(self):
         value = tetrislock_attack_complexity(2, 3, lambda i: i)
         assert value > 0
@@ -138,6 +150,43 @@ class TestBruteForceAttack:
         attack = BruteForceCollusionAttack(wide, wide, max_candidates=100)
         with pytest.raises(ValueError):
             attack.enumerate_matchings()
+
+    def test_iter_matchings_is_lazy(self):
+        """The n!-sized mapping list is no longer materialised: the
+        stream yields immediately even when the full space is huge."""
+        wide = benchmark_circuit("rd73")  # 10 qubits -> 10! bijections
+        attack = BruteForceCollusionAttack(wide, wide)
+        stream = attack.iter_matchings()
+        first = next(stream)
+        assert first == {q: q for q in range(wide.num_qubits)}
+
+    def test_iter_matchings_enforces_cap_during_iteration(self):
+        circuit = benchmark_circuit("4gt13")
+        attack = BruteForceCollusionAttack(
+            circuit, circuit, max_candidates=5
+        )
+        stream = attack.iter_matchings()
+        yielded = []
+        with pytest.raises(ValueError, match="exceed the cap"):
+            for mapping in stream:
+                yielded.append(mapping)
+        assert len(yielded) == 5
+
+    def test_enumerate_matchings_still_eager_list(self):
+        circuit = benchmark_circuit("4gt13")
+        attack = BruteForceCollusionAttack(circuit, circuit)
+        matchings = attack.enumerate_matchings()
+        assert isinstance(matchings, list)
+        assert len(matchings) == math.factorial(4)
+
+    def test_run_rejects_segments_wider_than_original(self):
+        """The padding branch used to silently widen candidates; a
+        segment that cannot fit the register now fails loudly."""
+        original = benchmark_circuit("4gt13")  # 4 qubits
+        wide = benchmark_circuit("4mod5")  # 5 qubits
+        attack = BruteForceCollusionAttack(wide, wide)
+        with pytest.raises(ValueError, match="do not fit"):
+            attack.run(original)
 
     def test_interlocked_rc_hides_function_from_seg2(self):
         """Even knowing the matching, segment 2 alone (holding R but

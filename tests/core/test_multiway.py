@@ -61,6 +61,25 @@ class TestMultiwaySplit:
             assert pair.rdg_index in first
             assert pair.r_index in rest
 
+    def test_boundaries_expose_per_pair_metadata(self):
+        circuit = benchmark_circuit("rd53")
+        insertion = insert_random_pairs(circuit, gate_limit=4, seed=1)
+        result = multiway_split(insertion, 3, seed=2)
+        boundaries = result.boundaries()
+        assert len(boundaries) == result.num_segments - 1
+        for boundary, seg_a, seg_b in zip(
+            boundaries, result.segments, result.segments[1:]
+        ):
+            assert boundary.seg1_active == tuple(seg_a.active_qubits)
+            assert boundary.seg2_active == tuple(seg_b.active_qubits)
+            assert set(boundary.shared_qubits) == (
+                set(seg_a.active_qubits) & set(seg_b.active_qubits)
+            )
+            mapping = boundary.true_matching()
+            assert sorted(mapping) == list(
+                range(len(boundary.seg2_active))
+            )
+
     def test_k_below_two_rejected(self):
         circuit = benchmark_circuit("4gt13")
         insertion = insert_random_pairs(circuit, gate_limit=2, seed=11)

@@ -1,0 +1,82 @@
+"""The attack_bruteforce spec: grid shape, determinism, checkpointing."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.attack_bruteforce import (
+    AttackRow,
+    render_attack_bruteforce,
+    run_attack_cell,
+)
+from repro.experiments.framework import ResultStore, get_spec
+
+
+TINY = {
+    "benchmarks": ["4gt13"],
+    "split_seeds": [0],
+}
+
+
+class TestRunAttackCell:
+    def test_same_width_cell(self):
+        row = run_attack_cell("same-width", "4gt13", 1)
+        assert row.adversary == "same-width"
+        assert row.widths == (4, 4)
+        assert not row.mismatched
+        assert row.search_space == 24
+        assert row.success
+        assert row.first_match is not None
+
+    def test_mismatched_cell_executes_eq1_search(self):
+        row = run_attack_cell("mismatched", "4gt13", 0)
+        assert row.adversary == "mismatched"
+        assert row.search_space > 1
+        assert row.candidates_tried + row.pruned == row.search_space
+        assert row.success
+
+    def test_no_prefilter_tries_full_space(self):
+        row = run_attack_cell("mismatched", "4gt13", 0, prefilter=False)
+        assert row.pruned == 0
+        assert row.candidates_tried == row.search_space
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversary"):
+            run_attack_cell("quantum-telepathy", "4gt13", 0)
+
+
+class TestSpec:
+    def test_registered(self):
+        spec = get_spec("attack_bruteforce")
+        assert not spec.seeded
+        cells = spec.make_cells(spec.config())
+        # benchmark x seed x adversary, ids unique
+        assert len(cells) == 2 * 3 * 2
+        assert len({cell.id for cell in cells}) == len(cells)
+
+    def test_run_and_render(self):
+        report = run_experiment("attack_bruteforce", TINY)
+        assert report.complete
+        rows = report.result["rows"]
+        assert [row.adversary for row in rows] == [
+            "same-width", "mismatched"
+        ]
+        assert all(isinstance(row, AttackRow) for row in rows)
+        text = render_attack_bruteforce(report.result)
+        assert "adversary" in text
+        assert "recover the original function" in text
+
+    def test_checkpoint_and_resume_reuse(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        first = run_experiment("attack_bruteforce", TINY, store=store)
+        assert first.computed == 2
+        second = run_experiment(
+            "attack_bruteforce", TINY, store=store, resume=True
+        )
+        assert second.reused == 2
+        assert second.computed == 0
+        assert second.result["rows"] == first.result["rows"]
+
+    def test_jobs_bit_identical(self):
+        sequential = run_experiment("attack_bruteforce", TINY)
+        parallel = run_experiment("attack_bruteforce", TINY, jobs=2)
+        assert sequential.result["rows"] == parallel.result["rows"]

@@ -141,9 +141,70 @@ class TestTranspileCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestAttackCommand:
+    def test_mismatched_attack_succeeds(self, capsys):
+        code = main(["attack", "--benchmark", "4gt13",
+                     "--adversary", "mismatched", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adversary: mismatched" in out
+        assert "attack succeeds" in out
+
+    def test_same_width_attack_with_jobs(self, capsys):
+        code = main(["attack", "--benchmark", "4gt13",
+                     "--adversary", "same-width", "--seed", "1",
+                     "--jobs", "2", "--chunk-size", "5",
+                     "--no-prefilter"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "24 tried, 0 pruned of 24 candidates" in out
+        assert "attack succeeds" in out
+
+    def test_auto_adversary_and_early_exit(self, capsys):
+        code = main(["attack", "--benchmark", "4mod5", "--seed", "3",
+                     "--early-exit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "early exit" in out
+
+    def test_list_adversaries(self, capsys):
+        code = main(["attack", "--list-adversaries"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "same-width" in out and "mismatched" in out
+
+    def test_over_cap_fails_cleanly(self, capsys):
+        code = main(["attack", "--benchmark", "rd73",
+                     "--adversary", "same-width",
+                     "--max-candidates", "100"])
+        assert code == 2
+        assert "exceed the cap" in capsys.readouterr().err
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        code = main(["attack", "--benchmark", "nosuchbench"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_circuit_file_fails_cleanly(self, capsys):
+        code = main(["attack", "--circuit", "/nope/missing.qasm"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "missing.qasm" in err
+
+    def test_circuit_file_input(self, tmp_path, capsys):
+        from repro.circuits import to_qasm
+        from repro.revlib import benchmark_circuit
+
+        path = tmp_path / "bench.qasm"
+        path.write_text(to_qasm(benchmark_circuit("4gt13")))
+        code = main(["attack", "--circuit", str(path), "--seed", "0"])
+        assert code == 0
+        assert "verdict" in capsys.readouterr().out
+
+
 class TestExperimentShortcuts:
-    def test_attack_shortcut(self, capsys):
-        code = main(["attack"])
+    def test_attack_complexity_shortcut(self, capsys):
+        code = main(["attack-complexity"])
         assert code == 0
         out = capsys.readouterr().out
         assert "Saki" in out
