@@ -1,0 +1,115 @@
+"""Service benchmarks: job throughput with and without coalescing.
+
+The coalescer's claim is that the expensive half of a noiseless
+simulate job (the statevector evolution) is request-independent, so a
+queue of same-circuit jobs should cost ~one evolution instead of one
+per job.  ``test_bench_coalescing_throughput`` pins that end-to-end
+through the real service: same jobs, same single worker, coalescing on
+vs off — on must win on wall time while every job's counts stay
+bit-identical to a direct ``execution.run``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the job
+count.
+"""
+
+import os
+import time
+
+from repro.circuits import to_qasm
+from repro.circuits.random_circuits import random_circuit
+from repro.execution import run as execute
+from repro.service import JobService, ServiceClient
+from repro.service.requests import prepare_circuit
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+_JOBS = 8 if _SMOKE else 16
+_TRIALS = 2 if _SMOKE else 3
+_SHOTS = 200
+
+# evolution-heavy workload: 10 qubits keeps each tensordot on a
+# 1024-amplitude state, so the shared evolution dominates the cheap
+# per-request sampling the coalescer cannot amortise
+_QASM = to_qasm(random_circuit(10, 60, seed=99))
+
+
+def _run_jobs(coalesce: bool) -> float:
+    """Wall time for _JOBS same-circuit simulate jobs on one worker."""
+    with JobService(
+        workers=1, cache_size=0, coalesce=coalesce, max_batch=64
+    ) as service:
+        client = ServiceClient(service)
+        # hold the worker so the whole load is queued before it runs —
+        # both modes pay the same 0.1 s, making the comparison fair
+        blocker = client.submit("_sleep", {"seconds": 0.1})
+        started = time.perf_counter()
+        jobs = [
+            client.submit(
+                "simulate",
+                {"qasm": _QASM, "seed": seed, "shots": _SHOTS},
+            )
+            for seed in range(_JOBS)
+        ]
+        assert client.wait([blocker, *jobs], timeout=300)
+        elapsed = time.perf_counter() - started
+        views = [service.status(job) for job in jobs]
+    if coalesce:
+        assert max(view["coalesced"] for view in views) > 1
+    else:
+        assert all(view["coalesced"] == 1 for view in views)
+    # throughput must never buy away correctness
+    circuit = prepare_circuit(_QASM)
+    for seed, view in enumerate(views):
+        direct = execute(circuit, _SHOTS, seed=seed)
+        assert view["result"]["counts"] == direct.to_dict()
+    return elapsed
+
+
+def test_bench_coalescing_throughput():
+    """Coalesced service beats sequential dispatch on the same load."""
+    coalesced = min(_run_jobs(coalesce=True) for _ in range(_TRIALS))
+    sequential = min(_run_jobs(coalesce=False) for _ in range(_TRIALS))
+    jobs_per_sec = _JOBS / coalesced
+    print(
+        f"\nservice throughput: coalesced {jobs_per_sec:.1f} jobs/s "
+        f"({coalesced * 1e3:.0f} ms) vs sequential "
+        f"{_JOBS / sequential:.1f} jobs/s ({sequential * 1e3:.0f} ms)"
+    )
+    assert coalesced < sequential, (
+        f"coalescing should win: {coalesced:.3f}s vs {sequential:.3f}s"
+    )
+
+
+def test_bench_single_job_round_trip(benchmark):
+    """Latency floor of one seeded simulate job through the service."""
+    with JobService(workers=1, cache_size=0) as service:
+        client = ServiceClient(service)
+        counter = iter(range(1_000_000))
+
+        def round_trip():
+            seed = next(counter)
+            job = client.submit(
+                "simulate",
+                {"qasm": _QASM, "seed": seed, "shots": _SHOTS},
+            )
+            return client.result(job, timeout=120)
+
+        payload = benchmark(round_trip)
+        assert sum(payload["counts"]["counts"].values()) == _SHOTS
+
+
+def test_bench_cache_hit_round_trip(benchmark):
+    """A warm fingerprint hit never touches a worker."""
+    with JobService(workers=1, cache_size=64) as service:
+        client = ServiceClient(service)
+        params = {"qasm": _QASM, "seed": 123, "shots": _SHOTS}
+        cold = client.result(
+            client.submit("simulate", dict(params)), timeout=120
+        )
+
+        def hit():
+            job = client.submit("simulate", dict(params))
+            return service.result(job, timeout=120)
+
+        view = benchmark(hit)
+        assert view["cached"] is True
+        assert view["result"] == cold

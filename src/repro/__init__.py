@@ -28,6 +28,9 @@ Public API tour
 * :mod:`repro.metrics` — TVD (Eq. 2), accuracy, overhead.
 * :mod:`repro.experiments` — harnesses regenerating Table I,
   Figure 4 and the attack-complexity analysis.
+* :mod:`repro.service` — **protection as a service**: async job
+  queue, process-pool workers, circuit-hash result cache, simulate
+  coalescing, HTTP front-end (``repro serve`` / ``repro submit``).
 
 Quickstart
 ----------
@@ -73,6 +76,7 @@ from .core import (
     TetrisLockPipeline,
     insert_random_pairs,
     interlocking_split,
+    protect_circuit,
     saki_attack_complexity,
     tetrislock_attack_complexity,
 )
@@ -90,6 +94,7 @@ __all__ = [
     "EvaluationResult",
     "insert_random_pairs",
     "interlocking_split",
+    "protect_circuit",
     "SplitResult",
     "SplitCompilationFlow",
     "saki_attack_complexity",

@@ -1,0 +1,50 @@
+"""Shared content-hashing helpers.
+
+Three subsystems key caches and checkpoints on stable digests of
+structured data: the transpile cache (circuit structural hash), the
+experiment result store (config hash) and the service result cache
+(request fingerprint).  They all use the same two primitives, kept
+here so the canonicalisation rules cannot drift apart:
+
+* :func:`canonical_json` — deterministic JSON spelling of a parameter
+  dict (sorted keys, no whitespace, tuples and lists identical);
+* :func:`json_digest` — blake2b hex digest of that spelling;
+* :func:`new_digest` — an incremental blake2b for binary structural
+  hashing (circuit instruction streams).
+
+blake2b everywhere: keyed cache lookups need speed, not cryptographic
+agility, and a single algorithm keeps digests comparable across the
+subsystems' logs and stats output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "json_digest", "new_digest"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON spelling of *value*.
+
+    Sorted keys and no whitespace make the text independent of dict
+    insertion order; ``default=str`` renders the odd non-JSON value
+    (paths, numpy scalars) stably instead of failing.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def json_digest(value: Any, digest_size: int = 8) -> str:
+    """Stable short hex digest of *value* via :func:`canonical_json`."""
+    return hashlib.blake2b(
+        canonical_json(value).encode(), digest_size=digest_size
+    ).hexdigest()
+
+
+def new_digest(digest_size: int = 16) -> "hashlib._Hash":
+    """Fresh incremental blake2b for binary structural hashing."""
+    return hashlib.blake2b(digest_size=digest_size)

@@ -1,0 +1,96 @@
+"""Shared thread-safe LRU core for the project's result caches.
+
+Two caches return expensive computed artifacts to mutation-happy
+callers: the transpile cache (compiled circuits + layouts) and the
+service result cache (job result dicts).  Both need the same
+mechanics — ordered entries, move-to-end on hit, tail eviction,
+hit/miss counters, one lock — and differ only in how values are
+copied across the cache boundary.  :class:`LRUCache` holds the
+mechanics once; subclasses override the ``_copy_in``/``_copy_out``
+policy hooks (clone vs deepcopy) so a cached value can never be
+mutated through a caller's reference.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Thread-safe LRU with copy-on-store/-lookup policy hooks."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # -- copy policy (override in subclasses) --------------------------
+    def _copy_in(self, value: Any) -> Any:
+        return value
+
+    def _copy_out(self, value: Any) -> Any:
+        return value
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """A private copy of the entry for *key*, or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        return self._copy_out(entry)
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert *value* (copied) under *key*, evicting the LRU tail."""
+        entry = self._copy_in(value)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                maxsize=self.maxsize,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

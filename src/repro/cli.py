@@ -20,6 +20,13 @@ design before sending it to third-party compilers:
   :mod:`repro.attacks` against a real split pair (straight Saki cut
   or obfuscate+interlocking cut) of a benchmark or circuit file, with
   ``--jobs`` parallel search, prefilter and early-exit knobs.
+* ``serve``    — run the protection-as-a-service front-end: an HTTP/
+  JSON endpoint over :class:`repro.service.JobService` (priority job
+  queue, process-pool workers, circuit-hash result cache, simulate
+  coalescing); drains gracefully on SIGINT/SIGTERM.
+* ``submit``   — client for a running ``repro serve``: submit
+  protect / simulate / transpile / evaluate / attack jobs, poll
+  status, cancel; circuits travel as OpenQASM 2.
 * ``experiment`` — the unified experiment framework:
   ``repro experiment list|run|resume|report`` runs any registered
   experiment grid with persistent JSONL checkpoints under
@@ -41,7 +48,6 @@ from typing import List, Optional, Sequence
 
 from .circuits import QuantumCircuit, draw_circuit, from_qasm, to_qasm
 from .circuits.grid import OccupancyGrid
-from .core import TetrisLockObfuscator, interlocking_split
 from .execution import available_engines, run as execute, select_engine
 from .noise import valencia_like_backend
 from .revlib import parse_real, write_real
@@ -56,6 +62,22 @@ def _load_circuit(path: str) -> QuantumCircuit:
     return from_qasm(text)
 
 
+def _fail(exc: BaseException) -> int:
+    """Report *exc* as a clean CLI error (exit 2, no traceback).
+
+    ``OSError.args[0]`` is the bare errno, so those keep ``str()``
+    (which includes the filename); everything else prefers the first
+    argument to avoid repr noise.
+    """
+    message = (
+        str(exc)
+        if isinstance(exc, OSError)
+        else exc.args[0] if exc.args else str(exc)
+    )
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _write_circuit(circuit: QuantumCircuit, path: str) -> None:
     if path.endswith(".real"):
         Path(path).write_text(write_real(circuit))
@@ -64,35 +86,29 @@ def _write_circuit(circuit: QuantumCircuit, path: str) -> None:
 
 
 def _cmd_protect(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.circuit)
-    obfuscator = TetrisLockObfuscator(
-        gate_limit=args.gate_limit,
-        gate_pool=tuple(args.gate_pool.split(",")),
-        seed=args.seed,
-    )
-    insertion = obfuscator.obfuscate(circuit)
-    split = interlocking_split(insertion, seed=args.seed)
+    from .core.protect import protect_circuit
+
     stem = Path(args.output_prefix)
     seg1_path = f"{stem}.seg1.qasm"
     seg2_path = f"{stem}.seg2.qasm"
-    _write_circuit(split.segment1.compact, seg1_path)
-    _write_circuit(split.segment2.compact, seg2_path)
-    metadata = {
-        "num_qubits": circuit.num_qubits,
-        "inserted_pairs": insertion.num_pairs,
-        "segment1": {
-            "path": seg1_path,
-            "active_qubits": split.segment1.active_qubits,
-        },
-        "segment2": {
-            "path": seg2_path,
-            "active_qubits": split.segment2.active_qubits,
-        },
-        "depth_original": circuit.depth(),
-        "depth_obfuscated": insertion.obfuscated.depth(),
-    }
-    meta_path = f"{stem}.tetrislock.json"
-    Path(meta_path).write_text(json.dumps(metadata, indent=2))
+    try:
+        circuit = _load_circuit(args.circuit)
+        protection = protect_circuit(
+            circuit,
+            gate_limit=args.gate_limit,
+            gate_pool=tuple(args.gate_pool.split(",")),
+            seed=args.seed,
+        )
+        split = protection.split
+        _write_circuit(split.segment1.compact, seg1_path)
+        _write_circuit(split.segment2.compact, seg2_path)
+        metadata = protection.metadata(seg1_path, seg2_path)
+        meta_path = f"{stem}.tetrislock.json"
+        Path(meta_path).write_text(json.dumps(metadata, indent=2))
+    except (OSError, ValueError) as exc:
+        # missing/unreadable files, malformed QASM/RevLib input
+        return _fail(exc)
+    insertion = protection.insertion
     print(f"inserted {insertion.num_pairs} random pair(s); depth "
           f"{circuit.depth()} -> {insertion.obfuscated.depth()}")
     print(f"segment 1: {seg1_path} "
@@ -104,33 +120,46 @@ def _cmd_protect(args: argparse.Namespace) -> int:
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
-    metadata = json.loads(Path(args.metadata).read_text())
-    seg1 = _load_circuit(metadata["segment1"]["path"])
-    seg2 = _load_circuit(metadata["segment2"]["path"])
-    n = metadata["num_qubits"]
-    restored = QuantumCircuit(n, name="restored")
-    mapping1 = {
-        compact: original
-        for compact, original in enumerate(
-            metadata["segment1"]["active_qubits"]
+    try:
+        metadata = json.loads(Path(args.metadata).read_text())
+        seg1 = _load_circuit(metadata["segment1"]["path"])
+        seg2 = _load_circuit(metadata["segment2"]["path"])
+        n = metadata["num_qubits"]
+        restored = QuantumCircuit(n, name="restored")
+        mapping1 = {
+            compact: original
+            for compact, original in enumerate(
+                metadata["segment1"]["active_qubits"]
+            )
+        }
+        mapping2 = {
+            compact: original
+            for compact, original in enumerate(
+                metadata["segment2"]["active_qubits"]
+            )
+        }
+        restored.extend(seg1.remap_qubits(mapping1, n).instructions)
+        restored.extend(seg2.remap_qubits(mapping2, n).instructions)
+        _write_circuit(restored, args.output)
+    except KeyError as exc:
+        print(
+            f"error: metadata {args.metadata} is missing key {exc.args[0]!r}",
+            file=sys.stderr,
         )
-    }
-    mapping2 = {
-        compact: original
-        for compact, original in enumerate(
-            metadata["segment2"]["active_qubits"]
-        )
-    }
-    restored.extend(seg1.remap_qubits(mapping1, n).instructions)
-    restored.extend(seg2.remap_qubits(mapping2, n).instructions)
-    _write_circuit(restored, args.output)
+        return 2
+    except (OSError, ValueError, TypeError) as exc:
+        # missing metadata/segment files, bad JSON, malformed QASM
+        return _fail(exc)
     print(f"restored circuit written to {args.output} "
           f"({restored.size()} gates, depth {restored.depth()})")
     return 0
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.circuit)
+    try:
+        circuit = _load_circuit(args.circuit)
+    except (OSError, ValueError) as exc:
+        return _fail(exc)
     grid = OccupancyGrid(circuit)
     print(f"name:   {circuit.name}")
     print(f"qubits: {circuit.num_qubits}")
@@ -281,14 +310,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         outcome = attack.search(problem, options)
         elapsed = time.perf_counter() - started
     except (KeyError, ValueError, RuntimeError, OSError) as exc:
-        # OSError.args[0] is the bare errno — str() keeps the filename
-        message = (
-            str(exc)
-            if isinstance(exc, OSError)
-            else exc.args[0] if exc.args else str(exc)
-        )
-        print(f"error: {message}", file=sys.stderr)
-        return 2
+        return _fail(exc)
     n1, n2 = problem.widths
     print(f"target:    {problem.description}")
     print(f"adversary: {outcome.attack}  segments: {n1}x{n2} qubits "
@@ -306,6 +328,154 @@ def _cmd_attack(args: argparse.Namespace) -> int:
               f"first at candidate {first.index} ({mapping})")
     print(f"verdict:   attack "
           f"{'succeeds' if outcome.success else 'fails'}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .service import JobService
+    from .service.http import make_server
+
+    try:
+        service = JobService(
+            workers=args.workers,
+            cache_size=args.cache_size,
+            coalesce=not args.no_coalesce,
+            max_batch=args.max_batch,
+        ).start()
+    except (ValueError, OSError) as exc:
+        return _fail(exc)
+    try:
+        httpd = make_server(
+            service, args.host, args.port, quiet=not args.verbose
+        )
+    except OSError as exc:
+        service.shutdown(drain=False)
+        return _fail(exc)
+    host, port = httpd.server_address[:2]
+    print(
+        f"repro service on http://{host}:{port}  "
+        f"(workers={args.workers}, "
+        f"coalesce={'off' if args.no_coalesce else 'on'}, "
+        f"cache={args.cache_size})",
+        flush=True,
+    )
+
+    def _stop(signum, frame):
+        # shutdown() waits for serve_forever to exit, which this very
+        # thread is blocked in — run it from a helper thread
+        threading.Thread(
+            target=httpd.shutdown, name="repro-serve-signal"
+        ).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        print("draining jobs...", flush=True)
+        service.shutdown(drain=True)
+        print("service stopped", flush=True)
+    return 0
+
+
+def _submit_build_simulate(args: argparse.Namespace) -> tuple:
+    return "simulate", {
+        "qasm": to_qasm(_load_circuit(args.circuit)),
+        "shots": args.shots,
+        "seed": args.seed,
+        "noisy": args.noisy,
+        "method": args.method,
+        "precision": "single" if args.single_precision else None,
+    }
+
+
+def _submit_build_protect(args: argparse.Namespace) -> tuple:
+    return "protect", {
+        "qasm": to_qasm(_load_circuit(args.circuit)),
+        "gate_limit": args.gate_limit,
+        "gate_pool": args.gate_pool,
+        "seed": args.seed,
+    }
+
+
+def _submit_build_transpile(args: argparse.Namespace) -> tuple:
+    return "transpile", {
+        "qasm": to_qasm(_load_circuit(args.circuit)),
+        "coupling": args.coupling,
+        "size": args.size,
+        "layout": args.layout,
+        "level": args.level,
+    }
+
+
+def _submit_target_params(args: argparse.Namespace) -> dict:
+    if args.circuit is not None:
+        return {"qasm": to_qasm(_load_circuit(args.circuit))}
+    return {"benchmark": args.benchmark}
+
+
+def _submit_build_evaluate(args: argparse.Namespace) -> tuple:
+    return "evaluate", {
+        **_submit_target_params(args),
+        "shots": args.shots,
+        "gate_limit": args.gate_limit,
+        "iterations": args.iterations,
+        "seed": args.seed,
+    }
+
+
+def _submit_build_attack(args: argparse.Namespace) -> tuple:
+    return "attack", {
+        **_submit_target_params(args),
+        "adversary": args.adversary,
+        "seed": args.seed,
+        "gate_limit": args.gate_limit,
+        "max_candidates": args.max_candidates,
+        "prefilter": not args.no_prefilter,
+        "early_exit": args.early_exit,
+    }
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import HTTPServiceClient, ServiceError
+
+    client = HTTPServiceClient(args.url)
+    try:
+        if args.action == "status":
+            print(json.dumps(client.status(args.job_id), indent=2))
+            return 0
+        if args.action == "cancel":
+            cancelled = client.cancel(args.job_id)
+            print(json.dumps({"id": args.job_id, "cancelled": cancelled}))
+            return 0 if cancelled else 2
+        kind, params = args.build(args)
+        job_id = client.submit(kind, params, priority=args.priority)
+        if args.no_wait:
+            print(json.dumps(client.status(job_id), indent=2))
+            return 0
+        view = client.wait_for(job_id, timeout=args.timeout)
+        if view is None:
+            print(
+                f"error: job {job_id} not finished after "
+                f"{args.timeout}s (it keeps running; poll with "
+                f"'repro submit status {job_id}')",
+                file=sys.stderr,
+            )
+            return 2
+    except (ServiceError, OSError, ValueError) as exc:
+        return _fail(exc)
+    print(json.dumps(view, indent=2))
+    if view["state"] != "done":
+        print(
+            f"error: job {job_id} {view['state']}: {view.get('error')}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -428,6 +598,117 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print registered attack names and exit",
     )
     attack.set_defaults(func=_cmd_attack)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON job service (protection as a service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8976,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes / max in-flight batches")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache entries (0 disables caching)")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable simulate-request batching")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="max coalesced jobs per worker call")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit jobs to a running `repro serve`"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8976")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="lower values run first (default 0)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the queued job and exit immediately")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for completion")
+    actions = submit.add_subparsers(dest="action", required=True)
+
+    def _submit_circuit_arg(p):
+        p.add_argument("circuit", help=".qasm or .real input")
+
+    def _submit_target_args(p):
+        target = p.add_mutually_exclusive_group()
+        target.add_argument("--benchmark", default="4gt13",
+                            help="RevLib benchmark name")
+        target.add_argument("--circuit", default=None,
+                            help=".qasm or .real input instead")
+
+    sim_job = actions.add_parser("simulate", help="noisy/noiseless run")
+    _submit_circuit_arg(sim_job)
+    sim_job.add_argument("--shots", type=int, default=1000)
+    sim_job.add_argument("--seed", type=int, default=None)
+    sim_job.add_argument("--noisy", action="store_true")
+    sim_job.add_argument("--method", default="auto")
+    sim_job.add_argument("--single-precision", action="store_true")
+    sim_job.set_defaults(func=_cmd_submit, build=_submit_build_simulate)
+
+    protect_job = actions.add_parser(
+        "protect", help="obfuscate + split via the service"
+    )
+    _submit_circuit_arg(protect_job)
+    protect_job.add_argument("--gate-limit", type=int, default=4)
+    protect_job.add_argument("--gate-pool", default="x,cx")
+    protect_job.add_argument("--seed", type=int, default=None)
+    protect_job.set_defaults(func=_cmd_submit, build=_submit_build_protect)
+
+    transpile_job = actions.add_parser(
+        "transpile", help="compile for a device topology"
+    )
+    _submit_circuit_arg(transpile_job)
+    transpile_job.add_argument(
+        "--coupling", default="valencia",
+        choices=("valencia", "line", "ring", "full"),
+    )
+    transpile_job.add_argument("--size", type=int, default=None)
+    transpile_job.add_argument("--layout", default="greedy",
+                               choices=("greedy", "trivial"))
+    transpile_job.add_argument("--level", type=int, default=1)
+    transpile_job.set_defaults(
+        func=_cmd_submit, build=_submit_build_transpile
+    )
+
+    evaluate_job = actions.add_parser(
+        "evaluate", help="full pipeline evaluation (Sec. V)"
+    )
+    _submit_target_args(evaluate_job)
+    evaluate_job.add_argument("--shots", type=int, default=1000)
+    evaluate_job.add_argument("--gate-limit", type=int, default=4)
+    evaluate_job.add_argument("--iterations", type=int, default=1)
+    evaluate_job.add_argument("--seed", type=int, default=None)
+    evaluate_job.set_defaults(
+        func=_cmd_submit, build=_submit_build_evaluate
+    )
+
+    attack_job = actions.add_parser(
+        "attack", help="adversary search against a protected split"
+    )
+    _submit_target_args(attack_job)
+    attack_job.add_argument(
+        "--adversary", default="auto",
+        choices=("auto", "same-width", "mismatched"),
+    )
+    attack_job.add_argument("--seed", type=int, default=0)
+    attack_job.add_argument("--gate-limit", type=int, default=4)
+    attack_job.add_argument("--max-candidates", type=int,
+                            default=500_000)
+    attack_job.add_argument("--no-prefilter", action="store_true")
+    attack_job.add_argument("--early-exit", action="store_true")
+    attack_job.set_defaults(func=_cmd_submit, build=_submit_build_attack)
+
+    status_job = actions.add_parser("status", help="poll one job")
+    status_job.add_argument("job_id")
+    status_job.set_defaults(func=_cmd_submit)
+
+    cancel_job = actions.add_parser("cancel", help="cancel a queued job")
+    cancel_job.add_argument("job_id")
+    cancel_job.set_defaults(func=_cmd_submit)
 
     # add_help=False on the forwarding stubs: -h lands in `extra` and
     # reaches the real parser, so `repro experiment run -h` shows the

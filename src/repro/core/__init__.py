@@ -28,6 +28,7 @@ from .insertion import (
 from .multiway import MultiwaySplitResult, multiway_split
 from .obfuscate import ObfuscationReport, TetrisLockObfuscator
 from .pipeline import EvaluationResult, TetrisLockPipeline
+from .protect import ProtectionResult, protect_circuit
 from .split import SplitResult, SplitSegment, interlocking_split
 
 __all__ = [
@@ -49,6 +50,8 @@ __all__ = [
     "recombine_physical",
     "TetrisLockPipeline",
     "EvaluationResult",
+    "ProtectionResult",
+    "protect_circuit",
     "saki_attack_complexity",
     "tetrislock_attack_complexity",
     "complexity_ratio",

@@ -1,0 +1,83 @@
+"""One-call circuit protection: obfuscate, split, owner metadata.
+
+The practitioner workflow of ``repro protect`` and the service's
+``protect`` jobs are the same three steps — TetrisLock obfuscation,
+interlocking split, and the private metadata record the owner needs to
+recombine after the two untrusted compilers return.  This module holds
+that logic once so the CLI and the job service cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from .insertion import InsertionResult
+from .obfuscate import TetrisLockObfuscator
+from .split import SplitResult, interlocking_split
+
+__all__ = ["ProtectionResult", "protect_circuit"]
+
+
+@dataclass
+class ProtectionResult:
+    """Everything ``protect`` produces for one circuit."""
+
+    original: QuantumCircuit
+    insertion: InsertionResult
+    split: SplitResult
+
+    def metadata(
+        self,
+        segment1_path: Optional[str] = None,
+        segment2_path: Optional[str] = None,
+    ) -> dict:
+        """The private recombination record (keep secret).
+
+        Segment paths are recorded when given (the CLI writes files);
+        the service ships segments inline as QASM instead and omits
+        them.  Key order ("path" first) matches the historical CLI
+        output so existing metadata files stay byte-identical.
+        """
+        segment1: dict = {}
+        segment2: dict = {}
+        if segment1_path is not None:
+            segment1["path"] = segment1_path
+        if segment2_path is not None:
+            segment2["path"] = segment2_path
+        segment1["active_qubits"] = list(self.split.segment1.active_qubits)
+        segment2["active_qubits"] = list(self.split.segment2.active_qubits)
+        return {
+            "num_qubits": self.original.num_qubits,
+            "inserted_pairs": self.insertion.num_pairs,
+            "segment1": segment1,
+            "segment2": segment2,
+            "depth_original": self.original.depth(),
+            "depth_obfuscated": self.insertion.obfuscated.depth(),
+        }
+
+
+def protect_circuit(
+    circuit: QuantumCircuit,
+    gate_limit: int = 4,
+    gate_pool: Sequence[str] = ("x", "cx"),
+    seed: Optional[Union[int, np.random.Generator]] = None,
+) -> ProtectionResult:
+    """Obfuscate *circuit* and split it along an interlocking boundary.
+
+    Seeding matches the historical CLI behaviour exactly: the same
+    integer *seed* parameterises both the obfuscator and the split, so
+    existing ``repro protect --seed N`` outputs are reproduced
+    bit-for-bit.
+    """
+    obfuscator = TetrisLockObfuscator(
+        gate_limit=gate_limit, gate_pool=tuple(gate_pool), seed=seed
+    )
+    insertion = obfuscator.obfuscate(circuit)
+    split = interlocking_split(insertion, seed=seed)
+    return ProtectionResult(
+        original=circuit, insertion=insertion, split=split
+    )

@@ -27,11 +27,12 @@ bit-identical cells, so they all checkpoint into the same file.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..._hashing import json_digest
 
 __all__ = ["ResultStore", "config_hash"]
 
@@ -44,10 +45,7 @@ def config_hash(config: Dict[str, Any]) -> str:
     Canonical JSON (sorted keys, no whitespace) makes the hash
     independent of dict insertion order and of tuple-vs-list spelling.
     """
-    canonical = json.dumps(
-        config, sort_keys=True, separators=(",", ":"), default=str
-    )
-    return hashlib.blake2b(canonical.encode(), digest_size=8).hexdigest()
+    return json_digest(config, digest_size=8)
 
 
 class ResultStore:

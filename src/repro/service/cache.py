@@ -1,0 +1,45 @@
+"""Cross-request result cache keyed on request fingerprints.
+
+The service-level sibling of the transpile cache: two users submitting
+the same QASM with the same canonical parameters never pay for the
+same compile or simulation twice.  Keys are request fingerprints
+(structural circuit hash + canonical-JSON parameter digest, see
+:mod:`repro.service.requests`); values are the JSON-safe result dicts
+handlers return.  Only reproducible requests are ever cached — the
+fingerprint is ``None`` for unseeded stochastic work — so a hit is by
+construction bit-identical to the cold run it replays.
+
+Mechanics come from the shared :class:`~repro._lru.LRUCache` core
+(the same one behind :class:`repro.transpiler.cache.TranspileCache`);
+the copy policy here is a deep copy in both directions, so no caller
+can mutate a cached result dict.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict
+
+from .._lru import CacheStats, LRUCache  # noqa: F401  (stats re-export)
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache(LRUCache):
+    """Thread-safe LRU of ``fingerprint -> result dict``."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        super().__init__(maxsize)
+
+    def _copy_in(self, value: Dict[str, Any]) -> Dict[str, Any]:
+        return copy.deepcopy(value)
+
+    def _copy_out(self, value: Dict[str, Any]) -> Dict[str, Any]:
+        return copy.deepcopy(value)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ResultCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses})"
+        )

@@ -1,0 +1,221 @@
+"""Clients for the job service: in-process and HTTP.
+
+Both expose the same surface — ``submit`` / ``status`` / ``result`` /
+``wait`` / ``cancel`` / ``stats`` — so code written against
+:class:`ServiceClient` (an in-process :class:`~repro.service.service.JobService`)
+moves to :class:`HTTPServiceClient` (a remote ``repro serve``) by
+changing one constructor.  ``result`` returns the handler's result
+payload and raises :class:`ServiceError` for failed or cancelled jobs;
+use ``status`` when the full job view (state, timings, cached flag) is
+wanted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Dict, Optional, Sequence, Union
+
+from .requests import ServiceRequest
+from .service import JobService
+
+__all__ = ["ServiceError", "ServiceClient", "HTTPServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A job failed, was cancelled, or the service rejected a call."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _result_from_view(view: Dict[str, Any]) -> Dict[str, Any]:
+    state = view.get("state")
+    if state == "done":
+        return view["result"]
+    if state == "failed":
+        raise ServiceError(
+            f"job {view.get('id')} failed: {view.get('error')}"
+        )
+    if state == "cancelled":
+        raise ServiceError(f"job {view.get('id')} was cancelled")
+    raise ServiceError(
+        f"job {view.get('id')} is still {state}"
+    )
+
+
+class ServiceClient:
+    """Python client bound to an in-process :class:`JobService`."""
+
+    def __init__(self, service: JobService) -> None:
+        self.service = service
+
+    def submit(
+        self,
+        request: Union[str, ServiceRequest],
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        priority: int = 0,
+    ) -> str:
+        return self.service.submit(request, params, priority=priority)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.service.status(job_id)
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return _result_from_view(self.service.result(job_id, timeout))
+
+    def wait(
+        self, job_ids: Sequence[str], timeout: Optional[float] = None
+    ) -> bool:
+        return self.service.wait(job_ids, timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.service.stats()
+
+
+class HTTPServiceClient:
+    """Client for a ``repro serve`` endpoint (stdlib urllib only)."""
+
+    def __init__(
+        self, url: str = "http://127.0.0.1:8976", timeout: float = 30.0
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _call(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as err:
+            try:
+                message = json.loads(err.read().decode()).get("error", "")
+            except Exception:
+                message = err.reason
+            raise ServiceError(
+                f"service returned {err.code}: {message}", status=err.code
+            ) from None
+        except urllib.error.URLError as err:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {err.reason}"
+            ) from None
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def submit(
+        self,
+        request: Union[str, ServiceRequest],
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        priority: int = 0,
+    ) -> str:
+        if isinstance(request, ServiceRequest):
+            if params is not None:
+                raise ValueError(
+                    "params are only accepted with a kind name"
+                )
+            kind, params = request.KIND, request.params()
+        else:
+            kind = request
+        view = self._call(
+            "POST",
+            "/jobs",
+            {"kind": kind, "params": params or {}, "priority": priority},
+        )
+        return view["id"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call("GET", f"/jobs/{urllib.parse.quote(job_id)}")
+
+    def _poll_terminal(
+        self, job_id: str, timeout: Optional[float]
+    ) -> Optional[Dict[str, Any]]:
+        """Long-poll one job via ``?wait=`` until terminal.
+
+        Returns the terminal view, or ``None`` on timeout — one HTTP
+        request per ~10 s window instead of a busy status loop.
+        """
+        end = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                None if end is None else max(0.0, end - time.monotonic())
+            )
+            window = 10.0 if remaining is None else min(10.0, remaining)
+            view = self._call(
+                "GET",
+                f"/jobs/{urllib.parse.quote(job_id)}?wait={window:.3f}",
+                timeout=self.timeout + window,
+            )
+            if view["state"] in ("done", "failed", "cancelled"):
+                return view
+            if remaining is not None and remaining <= 0.0:
+                return None
+
+    def wait_for(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Long-poll one job; its terminal view, or ``None`` on timeout."""
+        return self._poll_terminal(job_id, timeout)
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Long-poll until the job is terminal, then unwrap the result."""
+        view = self._poll_terminal(job_id, timeout)
+        if view is None:
+            raise TimeoutError(
+                f"job {job_id} not finished after {timeout}s"
+            )
+        return _result_from_view(view)
+
+    def wait(
+        self, job_ids: Sequence[str], timeout: Optional[float] = None
+    ) -> bool:
+        end = None if timeout is None else time.monotonic() + timeout
+        for job_id in job_ids:
+            remaining = (
+                None if end is None else max(0.0, end - time.monotonic())
+            )
+            if self._poll_terminal(job_id, remaining) is None:
+                return False
+        return True
+
+    def cancel(self, job_id: str) -> bool:
+        reply = self._call(
+            "POST", f"/jobs/{urllib.parse.quote(job_id)}/cancel"
+        )
+        return bool(reply.get("cancelled"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        """Ask the server to drain and exit (used by tests and ops)."""
+        return self._call("POST", "/shutdown")

@@ -1,0 +1,297 @@
+"""Request handlers: the code a worker process runs for one job.
+
+A handler is a pure, picklable, module-level function from a params
+dict (the request's canonical wire form) to a JSON-safe result dict.
+The registry mirrors the execution-engine and attack registries
+(:mod:`repro.execution.registry`, :mod:`repro.attacks.base`): built-in
+kinds register at import, new workloads slot in through
+:func:`register_handler` without touching the queue or the workers.
+
+Determinism contract: every built-in handler is a pure function of its
+params.  Requests carry explicit seeds, multi-iteration work spawns
+per-iteration seeds positionally (``SeedSequence(seed).spawn(n)[i]``,
+the experiment framework's scheme), and nothing reads ambient state —
+so any job's result is reproducible regardless of worker count, queue
+order or cache contents.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+__all__ = [
+    "register_handler",
+    "unregister_handler",
+    "has_handler",
+    "get_handler",
+    "available_handlers",
+    "execute_request",
+]
+
+Handler = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+_HANDLERS: Dict[str, Handler] = {}
+
+
+def register_handler(kind: str, handler: Handler) -> Handler:
+    """Register *handler* for request *kind* (last registration wins)."""
+    if not kind:
+        raise ValueError("handler kind must be non-empty")
+    _HANDLERS[kind] = handler
+    return handler
+
+
+def unregister_handler(kind: str) -> None:
+    _HANDLERS.pop(kind, None)
+
+
+def has_handler(kind: str) -> bool:
+    return kind in _HANDLERS
+
+
+def get_handler(kind: str) -> Handler:
+    try:
+        return _HANDLERS[kind]
+    except KeyError:
+        raise KeyError(
+            f"no handler registered for request kind {kind!r}; "
+            f"available: {', '.join(available_handlers())}"
+        ) from None
+
+
+def available_handlers() -> List[str]:
+    """Registered kinds, internal (``_``-prefixed) ones last."""
+    return sorted(_HANDLERS, key=lambda k: (k.startswith("_"), k))
+
+
+def execute_request(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side entry point: look up and run one handler."""
+    return get_handler(kind)(params)
+
+
+# ---------------------------------------------------------------------------
+# built-in handlers
+# ---------------------------------------------------------------------------
+
+
+def handle_simulate(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Noisy/noiseless simulation through :func:`repro.execution.run`."""
+    from ..execution import run as execute, select_engine
+    from ..noise.backend import valencia_like_backend
+    from .requests import prepare_circuit
+
+    circuit = prepare_circuit(params["qasm"])
+    noise_model = None
+    if params.get("noisy"):
+        backend = valencia_like_backend(max(circuit.num_qubits, 2))
+        noise_model = backend.noise_model()
+    precision = params.get("precision")
+    dtype = {
+        None: None,
+        "single": np.complex64,
+        "double": np.complex128,
+    }[precision]
+    method = params.get("method", "auto")
+    engine = (
+        select_engine(circuit, noise_model=noise_model, dtype=dtype)
+        if method == "auto"
+        else method
+    )
+    counts = execute(
+        circuit,
+        int(params.get("shots", 1000)),
+        noise_model=noise_model,
+        method=engine,  # already resolved; skip a second auto-dispatch
+        seed=params.get("seed"),
+        dtype=dtype,
+    )
+    return {
+        "counts": counts.to_dict(),
+        "engine": engine,
+        "shots": counts.shots,
+    }
+
+
+def handle_protect(params: Dict[str, Any]) -> Dict[str, Any]:
+    """TetrisLock obfuscation + interlocking split; segments as QASM."""
+    from ..circuits.qasm import from_qasm, to_qasm
+    from ..core.protect import protect_circuit
+
+    circuit = from_qasm(params["qasm"])
+    protection = protect_circuit(
+        circuit,
+        gate_limit=int(params.get("gate_limit", 4)),
+        gate_pool=tuple(params.get("gate_pool", "x,cx").split(",")),
+        seed=params.get("seed"),
+    )
+    return {
+        "segment1_qasm": to_qasm(protection.split.segment1.compact),
+        "segment2_qasm": to_qasm(protection.split.segment2.compact),
+        "metadata": protection.metadata(),
+    }
+
+
+def handle_transpile(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Deterministic compile through the preset pass schedule."""
+    from ..circuits.qasm import from_qasm, to_qasm
+    from ..noise.backend import valencia_like_backend
+    from ..transpiler import CouplingMap, transpile
+
+    circuit = from_qasm(params["qasm"])
+    size = params.get("size") or max(circuit.num_qubits, 2)
+    backend = None
+    coupling = None
+    kind = params.get("coupling", "valencia")
+    if kind == "valencia":
+        backend = valencia_like_backend(size)
+    elif kind == "line":
+        coupling = CouplingMap.line(size)
+    elif kind == "ring":
+        coupling = CouplingMap.ring(size)
+    else:
+        coupling = CouplingMap.full(size)
+    result = transpile(
+        circuit,
+        backend=backend,
+        coupling=coupling,
+        layout_method=params.get("layout", "greedy"),
+        optimization_level=int(params.get("level", 1)),
+    )
+    return {
+        "qasm": to_qasm(result.circuit),
+        "size": result.size,
+        "depth": result.depth,
+        "swap_count": result.swap_count,
+        "initial_layout": result.initial_layout.to_dict(),
+        "final_layout": result.final_layout.to_dict(),
+        "compile_seconds": result.compile_seconds,
+    }
+
+
+def _target_circuit(params: Dict[str, Any]):
+    from ..circuits.qasm import from_qasm
+    from ..revlib.benchmarks import load_benchmark
+
+    if params.get("qasm") is not None:
+        return from_qasm(params["qasm"]), None
+    record = load_benchmark(params["benchmark"])
+    return record.circuit(), record
+
+
+def handle_evaluate(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Full pipeline evaluation (Sec. V) over *iterations* runs."""
+    from ..core.pipeline import TetrisLockPipeline
+
+    circuit, record = _target_circuit(params)
+    output_qubits = record.output_qubits if record is not None else None
+    iterations = int(params.get("iterations", 1))
+    seed = params.get("seed")
+    children = np.random.SeedSequence(seed).spawn(iterations)
+    results = []
+    for child in children:
+        pipeline = TetrisLockPipeline(
+            shots=int(params.get("shots", 1000)),
+            gate_limit=int(params.get("gate_limit", 4)),
+            seed=np.random.default_rng(child),
+        )
+        evaluation = pipeline.evaluate(
+            circuit,
+            name=record.name if record is not None else circuit.name,
+            output_qubits=output_qubits,
+        )
+        results.append(
+            {
+                **evaluation.to_dict(),
+                "accuracy_original": evaluation.accuracy_original,
+                "accuracy_restored": evaluation.accuracy_restored,
+                "tvd_obfuscated": evaluation.tvd_obfuscated,
+                "tvd_restored": evaluation.tvd_restored,
+            }
+        )
+    return {"iterations": results}
+
+
+def handle_attack(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One adversary search against a protected split (sequential)."""
+    from ..attacks import (
+        SearchOptions,
+        get_attack,
+        problem_from_saki,
+        problem_from_split,
+        select_attack,
+    )
+    from ..baselines.saki_split import saki_split
+    from ..core import insert_random_pairs, interlocking_split
+
+    circuit, _ = _target_circuit(params)
+    circuit = circuit.remove_final_measurements()
+    seed = int(params.get("seed", 0))
+    adversary = params.get("adversary", "auto")
+    if adversary == "same-width":
+        problem = problem_from_saki(saki_split(circuit, seed=seed))
+    else:
+        insertion = insert_random_pairs(
+            circuit,
+            gate_limit=int(params.get("gate_limit", 4)),
+            seed=seed,
+        )
+        problem = problem_from_split(
+            interlocking_split(insertion, seed=seed)
+        )
+    attack = (
+        select_attack(problem)
+        if adversary == "auto"
+        else get_attack(adversary)
+    )
+    options = SearchOptions(
+        max_candidates=int(params.get("max_candidates", 500_000)),
+        prefilter=bool(params.get("prefilter", True)),
+        early_exit=bool(params.get("early_exit", False)),
+    )
+    outcome = attack.search(problem, options)
+    first = outcome.first_match
+    return {
+        "adversary": outcome.attack,
+        "widths": list(problem.widths),
+        "mismatched": problem.mismatched,
+        "search_space": outcome.search_space,
+        "candidates_tried": outcome.candidates_tried,
+        "pruned": outcome.pruned,
+        "matches": outcome.matches,
+        "success": outcome.success,
+        "early_exit": outcome.early_exit,
+        "first_match": None
+        if first is None
+        else {
+            "index": first.index,
+            "mapping": [list(pair) for pair in first.mapping],
+        },
+    }
+
+
+# -- internal handlers (failure-path tests, benchmarks, smoke) --------------
+
+
+def _handle_sleep(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Hold a worker busy — lets tests observe queue/drain behaviour."""
+    seconds = float(params.get("seconds", 0.1))
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def _handle_crash(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Kill the worker process abruptly (no exception, no cleanup)."""
+    os._exit(int(params.get("code", 1)))
+
+
+register_handler("simulate", handle_simulate)
+register_handler("protect", handle_protect)
+register_handler("transpile", handle_transpile)
+register_handler("evaluate", handle_evaluate)
+register_handler("attack", handle_attack)
+register_handler("_sleep", _handle_sleep)
+register_handler("_crash", _handle_crash)

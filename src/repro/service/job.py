@@ -1,0 +1,117 @@
+"""Job objects and their lifecycle states.
+
+A job is one submitted request travelling through the service::
+
+    queued --> running --> done | failed
+       \\--> cancelled           (queued jobs only)
+
+plus the submit-time shortcut ``queued -> done`` when the result cache
+already holds the answer (``cached`` is then true and the job never
+occupies a worker).
+
+Jobs are mutated only by the service's event-loop thread; clients
+observe them through :meth:`Job.view` snapshots and block on the
+``threading.Event`` that is set exactly once, when the job reaches a
+terminal state.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["JobState", "Job", "TERMINAL_STATES"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+
+@dataclass
+class Job:
+    """One request's journey through the service."""
+
+    id: str
+    kind: str
+    priority: int
+    seq: int
+    request: Any  # the typed request object (see service.requests)
+    cache_key: Optional[str] = None
+    coalesce_key: Optional[Tuple] = None
+    state: JobState = JobState.QUEUED
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cached: bool = False
+    coalesced: int = 1  # size of the batch this job executed in
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    done_event: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # ------------------------------------------------------------------
+    # transitions (event-loop thread only)
+    # ------------------------------------------------------------------
+    def mark_running(self, coalesced: int = 1) -> None:
+        self.state = JobState.RUNNING
+        self.coalesced = coalesced
+        self.started_at = time.time()
+
+    def finish(self, result: Dict[str, Any], cached: bool = False) -> None:
+        self.state = JobState.DONE
+        self.result = result
+        self.cached = cached
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    def fail(self, error: str) -> None:
+        self.state = JobState.FAILED
+        self.error = error
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    def cancel(self) -> None:
+        self.state = JobState.CANCELLED
+        self.finished_at = time.time()
+        self.done_event.set()
+
+    # ------------------------------------------------------------------
+    def view(self, include_result: bool = True) -> Dict[str, Any]:
+        """JSON-safe snapshot for clients and the HTTP front-end."""
+        view: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "priority": self.priority,
+            "state": self.state.value,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+        if include_result:
+            # a private copy: in-process callers mutating the returned
+            # payload must not corrupt later views of the same job
+            view["result"] = copy.deepcopy(self.result)
+        return view

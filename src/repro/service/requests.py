@@ -1,0 +1,424 @@
+"""Typed service requests: canonical parameters, fingerprints, keys.
+
+Every job the service accepts is described by one of these request
+dataclasses.  Circuits travel as OpenQASM 2 text
+(:mod:`repro.circuits.qasm`), never as pickled objects, so the same
+request shape works in-process, over HTTP and inside worker processes.
+
+Each request knows three things about itself:
+
+* ``params()`` — its canonical wire form (the dict a handler runs on);
+* ``fingerprint()`` — the result-cache key, or ``None`` when the
+  request is not cacheable.  Fingerprints combine the **structural
+  circuit hash** (:func:`repro.transpiler.cache.circuit_structural_hash`,
+  so QASM formatting differences never defeat the cache) with a
+  canonical-JSON digest of the remaining parameters
+  (:mod:`repro._hashing`).  Requests that draw unseeded randomness
+  (``seed=None`` on simulate/protect/evaluate) are never cached;
+* ``coalesce_key()`` — the compatibility class for request batching,
+  or ``None``.  Only noiseless, full-precision, terminal-measurement
+  simulations coalesce: those share one statevector evolution and then
+  sample per-request, which is bit-identical to running each alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+from .._hashing import json_digest
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.qasm import from_qasm
+from ..simulator.trajectory import measures_are_terminal
+from ..transpiler.cache import circuit_structural_hash
+
+__all__ = [
+    "ServiceRequest",
+    "SimulateRequest",
+    "ProtectRequest",
+    "TranspileRequest",
+    "EvaluateRequest",
+    "AttackRequest",
+    "RawRequest",
+    "REQUEST_TYPES",
+    "request_from_wire",
+    "prepare_circuit",
+]
+
+_PRECISIONS = (None, "single", "double")
+_COUPLINGS = ("valencia", "line", "ring", "full")
+_FINGERPRINT_SIZE = 16  # bytes; 32 hex chars
+
+
+def prepare_circuit(qasm: str) -> QuantumCircuit:
+    """Parse request QASM and normalise measurement semantics.
+
+    Circuits without measurements get explicit measure-all, so the
+    structural hash, the coalescer and every handler agree on one
+    canonical form.  Malformed QASM raises
+    :class:`~repro.circuits.qasm.QasmError` here, at submit time.
+    """
+    circuit = from_qasm(qasm)
+    if not circuit.has_measurements():
+        circuit = circuit.copy().measure_all()
+    return circuit
+
+
+@dataclass
+class ServiceRequest:
+    """Base class: wire form + fingerprint/coalesce plumbing."""
+
+    KIND: ClassVar[str] = ""
+    # protect/transpile act on the raw circuit; simulate adds
+    # measure-all semantics before hashing and execution
+    NORMALISE_MEASUREMENTS: ClassVar[bool] = False
+
+    def params(self) -> Dict[str, Any]:
+        """Canonical wire/cache form of this request.
+
+        The public dataclass fields, verbatim — handlers, the HTTP
+        wire format and cache fingerprints all run on this one dict.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if not f.name.startswith("_")
+        }
+
+    # -- circuit plumbing (qasm-bearing requests) ----------------------
+    def _circuit(self) -> QuantumCircuit:
+        cached = getattr(self, "_prepared", None)
+        if cached is None:
+            cached = (
+                prepare_circuit(self.qasm)
+                if self.NORMALISE_MEASUREMENTS
+                else from_qasm(self.qasm)
+            )
+            self._prepared = cached
+        return cached
+
+    def circuit_hash(self) -> str:
+        return circuit_structural_hash(self._circuit())
+
+    def _fingerprint_of(self, identity: Dict[str, Any]) -> str:
+        return json_digest(
+            {"kind": self.KIND, **identity}, digest_size=_FINGERPRINT_SIZE
+        )
+
+    # -- defaults ------------------------------------------------------
+    def fingerprint(self) -> Optional[str]:
+        return None
+
+    def coalesce_key(self) -> Optional[Tuple]:
+        return None
+
+
+@dataclass
+class SimulateRequest(ServiceRequest):
+    """Run a circuit through :func:`repro.execution.run`."""
+
+    KIND: ClassVar[str] = "simulate"
+    NORMALISE_MEASUREMENTS: ClassVar[bool] = True
+
+    qasm: str = ""
+    shots: int = 1000
+    seed: Optional[int] = None
+    noisy: bool = False
+    method: str = "auto"
+    precision: Optional[str] = None  # None | "single" | "double"
+    _prepared: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.qasm:
+            raise ValueError("simulate request needs a 'qasm' circuit")
+        if self.shots <= 0:
+            raise ValueError("shots must be positive")
+        if self.precision not in _PRECISIONS:
+            raise ValueError(
+                f"unknown precision {self.precision!r}; "
+                "expected 'single', 'double' or null"
+            )
+        self._circuit()  # malformed QASM fails at submit, not in a worker
+
+    def fingerprint(self) -> Optional[str]:
+        if self.seed is None:
+            return None  # unseeded sampling is not reproducible
+        return self._fingerprint_of(
+            {
+                "circuit": self.circuit_hash(),
+                "shots": self.shots,
+                "seed": self.seed,
+                "noisy": self.noisy,
+                "method": self.method,
+                "precision": self.precision,
+            }
+        )
+
+    def coalesce_key(self) -> Optional[Tuple]:
+        if self.noisy or self.method not in ("auto", "statevector"):
+            return None
+        if self.precision == "single":
+            return None  # reduced precision runs on the batched engine
+        if not measures_are_terminal(self._circuit()):
+            return None  # needs per-shot collapse
+        return ("simulate", self.circuit_hash())
+
+
+@dataclass
+class ProtectRequest(ServiceRequest):
+    """TetrisLock obfuscation + interlocking split of one circuit."""
+
+    KIND: ClassVar[str] = "protect"
+
+    qasm: str = ""
+    gate_limit: int = 4
+    gate_pool: str = "x,cx"
+    seed: Optional[int] = None
+    _prepared: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.qasm:
+            raise ValueError("protect request needs a 'qasm' circuit")
+        if self.gate_limit < 0:
+            raise ValueError("gate_limit must be non-negative")
+        if not self.gate_pool:
+            raise ValueError("gate_pool must not be empty")
+        self._circuit()  # malformed QASM fails at submit
+
+    def fingerprint(self) -> Optional[str]:
+        if self.seed is None:
+            return None
+        return self._fingerprint_of(
+            {
+                "circuit": self.circuit_hash(),
+                "gate_limit": self.gate_limit,
+                "gate_pool": self.gate_pool,
+                "seed": self.seed,
+            }
+        )
+
+
+@dataclass
+class TranspileRequest(ServiceRequest):
+    """Compile a circuit for a device topology (deterministic)."""
+
+    KIND: ClassVar[str] = "transpile"
+
+    qasm: str = ""
+    coupling: str = "valencia"
+    size: Optional[int] = None
+    layout: str = "greedy"
+    level: int = 1
+    _prepared: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.qasm:
+            raise ValueError("transpile request needs a 'qasm' circuit")
+        if self.coupling not in _COUPLINGS:
+            raise ValueError(
+                f"unknown coupling {self.coupling!r}; "
+                f"expected one of {', '.join(_COUPLINGS)}"
+            )
+        if self.layout not in ("greedy", "trivial"):
+            raise ValueError("layout must be 'greedy' or 'trivial'")
+        if not 0 <= self.level <= 3:
+            raise ValueError("optimization level must be 0-3")
+        self._circuit()  # malformed QASM fails at submit
+
+    def fingerprint(self) -> Optional[str]:
+        # compilation is RNG-free: always cacheable
+        return self._fingerprint_of(
+            {
+                "circuit": self.circuit_hash(),
+                "coupling": self.coupling,
+                "size": self.size,
+                "layout": self.layout,
+                "level": self.level,
+            }
+        )
+
+
+def _validate_target(request: "ServiceRequest") -> None:
+    """Exactly one of benchmark/qasm, and it must resolve at submit.
+
+    The QASM parse lands in the request's ``_prepared`` cache, so
+    :func:`_target_identity` (and nothing else in the submitting
+    thread) ever parses the text again.
+    """
+    if (request.benchmark is None) == (request.qasm is None):
+        raise ValueError(
+            "specify exactly one of 'benchmark' or 'qasm'"
+        )
+    if request.qasm is not None:
+        request._circuit()
+    else:
+        from ..revlib.benchmarks import load_benchmark
+
+        try:
+            load_benchmark(request.benchmark)  # unknown names fail here
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from None
+
+
+def _target_identity(request: "ServiceRequest") -> Dict[str, Any]:
+    if request.qasm is not None:
+        return {"circuit": request.circuit_hash()}
+    return {"benchmark": request.benchmark}
+
+
+@dataclass
+class EvaluateRequest(ServiceRequest):
+    """Full Sec. V pipeline: obfuscate, split-compile, recombine, score.
+
+    Iterations are seeded with the experiment framework's scheme —
+    ``SeedSequence(seed).spawn(iterations)[i]`` — so a job's results
+    depend only on its own parameters, never on worker count, queue
+    order or cache state.
+    """
+
+    KIND: ClassVar[str] = "evaluate"
+
+    benchmark: Optional[str] = None
+    qasm: Optional[str] = None
+    shots: int = 1000
+    gate_limit: int = 4
+    iterations: int = 1
+    seed: Optional[int] = None
+    _prepared: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        _validate_target(self)
+        if self.shots <= 0:
+            raise ValueError("shots must be positive")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    def fingerprint(self) -> Optional[str]:
+        if self.seed is None:
+            return None
+        return self._fingerprint_of(
+            {
+                **_target_identity(self),
+                "shots": self.shots,
+                "gate_limit": self.gate_limit,
+                "iterations": self.iterations,
+                "seed": self.seed,
+            }
+        )
+
+
+@dataclass
+class AttackRequest(ServiceRequest):
+    """Run a registered adversary model against a protected split."""
+
+    KIND: ClassVar[str] = "attack"
+
+    benchmark: Optional[str] = None
+    qasm: Optional[str] = None
+    adversary: str = "auto"
+    seed: int = 0
+    gate_limit: int = 4
+    max_candidates: int = 500_000
+    prefilter: bool = True
+    early_exit: bool = False
+    _prepared: Optional[QuantumCircuit] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        _validate_target(self)
+        if self.adversary not in ("auto", "same-width", "mismatched"):
+            raise ValueError(
+                f"unknown adversary {self.adversary!r}; expected "
+                "'auto', 'same-width' or 'mismatched'"
+            )
+        if self.max_candidates <= 0:
+            raise ValueError("max_candidates must be positive")
+
+    def fingerprint(self) -> Optional[str]:
+        # the search is canonical-order deterministic for a fixed seed
+        return self._fingerprint_of(
+            {
+                **_target_identity(self),
+                "adversary": self.adversary,
+                "seed": self.seed,
+                "gate_limit": self.gate_limit,
+                "max_candidates": self.max_candidates,
+                "prefilter": self.prefilter,
+                "early_exit": self.early_exit,
+            }
+        )
+
+
+@dataclass
+class RawRequest(ServiceRequest):
+    """Escape hatch for custom registered handlers.
+
+    Any kind registered through
+    :func:`repro.service.handlers.register_handler` can be submitted
+    with plain params; raw jobs are never cached or coalesced.
+    """
+
+    kind: str = ""
+    raw_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.KIND = self.kind  # instance-level override
+
+    def params(self) -> Dict[str, Any]:
+        return dict(self.raw_params)
+
+
+REQUEST_TYPES: Dict[str, type] = {
+    cls.KIND: cls
+    for cls in (
+        SimulateRequest,
+        ProtectRequest,
+        TranspileRequest,
+        EvaluateRequest,
+        AttackRequest,
+    )
+}
+
+
+def request_from_wire(kind: str, params: Dict[str, Any]) -> ServiceRequest:
+    """Build a typed request from its wire form.
+
+    Unknown parameter names and invalid values raise
+    :class:`ValueError` with a message fit for clients; kinds without a
+    dataclass fall back to :class:`RawRequest` when a handler is
+    registered for them.
+    """
+    if not isinstance(params, dict):
+        raise ValueError("request params must be a JSON object")
+    cls = REQUEST_TYPES.get(kind)
+    if cls is None:
+        from .handlers import has_handler
+
+        if has_handler(kind):
+            return RawRequest(kind=kind, raw_params=params)
+        raise ValueError(
+            f"unknown request kind {kind!r}; "
+            f"expected one of {', '.join(sorted(REQUEST_TYPES))}"
+        )
+    allowed = {
+        f.name for f in fields(cls) if not f.name.startswith("_")
+    }
+    unknown = set(params) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) for {kind!r}: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(str(exc)) from None

@@ -25,6 +25,8 @@ from .trajectory import (
     TrajectorySimulator,
     measures_are_terminal,
     run_counts,
+    sample_terminal_counts,
+    terminal_distribution,
 )
 from .unitary import (
     circuit_unitary,
@@ -48,6 +50,8 @@ __all__ = [
     "TrajectorySimulator",
     "measures_are_terminal",
     "run_counts",
+    "sample_terminal_counts",
+    "terminal_distribution",
     "DensityMatrix",
     "DensityMatrixSimulator",
     "circuit_unitary",

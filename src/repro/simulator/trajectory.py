@@ -22,7 +22,57 @@ from ..noise.model import NoiseModel
 from .counts import Counts, counts_from_outcomes, remap_bits
 from .statevector import Statevector, format_bitstring
 
-__all__ = ["TrajectorySimulator", "measures_are_terminal", "run_counts"]
+__all__ = [
+    "TrajectorySimulator",
+    "measures_are_terminal",
+    "run_counts",
+    "terminal_distribution",
+    "sample_terminal_counts",
+]
+
+
+def terminal_distribution(
+    circuit: QuantumCircuit,
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Final-state outcome distribution of a noiseless circuit.
+
+    Evolves the statevector once (measures and barriers skipped) and
+    returns the little-endian probability vector together with the
+    ``(qubit, clbit)`` map of the terminal measurements.  This is the
+    expensive half of the noiseless fast path; :func:`sample_terminal_counts`
+    is the cheap half, so one evolution can serve many samplings —
+    the service layer's request coalescer relies on exactly that split.
+    """
+    state = Statevector(circuit.num_qubits)
+    measured: List[Tuple[int, int]] = []
+    for inst in circuit:
+        if inst.is_gate:
+            state.apply_matrix(inst.operation.matrix, inst.qubits)
+        elif inst.is_measure:
+            measured.append((inst.qubits[0], inst.clbits[0]))
+    return state.probabilities(), measured
+
+
+def sample_terminal_counts(
+    probs: np.ndarray,
+    measured: List[Tuple[int, int]],
+    num_qubits: int,
+    num_clbits: int,
+    shots: int,
+    rng: np.random.Generator,
+) -> Counts:
+    """Sample a :class:`Counts` histogram from a final distribution.
+
+    Draws are bit-identical to ``TrajectorySimulator._run_fast`` for
+    the same *rng* state: same normalisation, same ``rng.choice`` call,
+    same vectorised bit gather.
+    """
+    outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+    if not measured:
+        # measure-all semantics: every qubit reported
+        return counts_from_outcomes(outcomes, num_qubits, shots=shots)
+    mapped = remap_bits(outcomes, measured)
+    return counts_from_outcomes(mapped, max(num_clbits, 1), shots=shots)
 
 
 class TrajectorySimulator:
@@ -56,23 +106,14 @@ class TrajectorySimulator:
 
     # ------------------------------------------------------------------
     def _run_fast(self, circuit: QuantumCircuit, shots: int) -> Counts:
-        state = Statevector(circuit.num_qubits)
-        measured: List[Tuple[int, int]] = []
-        for inst in circuit:
-            if inst.is_gate:
-                state.apply_matrix(inst.operation.matrix, inst.qubits)
-            elif inst.is_measure:
-                measured.append((inst.qubits[0], inst.clbits[0]))
-        if not measured:
-            raw = state.sample_counts(shots, rng=self._rng)
-            return Counts(raw, shots=shots)
-        probs = state.probabilities()
-        outcomes = self._rng.choice(len(probs), size=shots, p=probs / probs.sum())
-        # vectorised qubit -> clbit gather plus one np.unique histogram
-        # instead of a Python loop over every shot
-        mapped = remap_bits(outcomes, measured)
-        return counts_from_outcomes(
-            mapped, max(circuit.num_clbits, 1), shots=shots
+        probs, measured = terminal_distribution(circuit)
+        return sample_terminal_counts(
+            probs,
+            measured,
+            circuit.num_qubits,
+            circuit.num_clbits,
+            shots,
+            self._rng,
         )
 
     # ------------------------------------------------------------------

@@ -17,13 +17,11 @@ compiles from worker threads).
 
 from __future__ import annotations
 
-import hashlib
 import struct
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple, TYPE_CHECKING
+from typing import Optional, Tuple, TYPE_CHECKING
 
+from .._hashing import new_digest
+from .._lru import CacheStats, LRUCache
 from ..circuits.circuit import QuantumCircuit
 from ..circuits.gates import UnitaryGate
 from .coupling import CouplingMap
@@ -50,7 +48,7 @@ def circuit_structural_hash(circuit: QuantumCircuit) -> str:
     matrix bytes (their name may be a user label).  Equal circuits hash
     equal across processes (unlike ``hash()``, which is salted).
     """
-    digest = hashlib.blake2b(digest_size=16)
+    digest = new_digest(digest_size=16)
     digest.update(
         f"{circuit.num_qubits}|{circuit.num_clbits}\x1e".encode()
     )
@@ -85,21 +83,6 @@ def layout_cache_key(layout: Optional[Layout]) -> Optional[Tuple]:
     return tuple(sorted(layout.to_dict().items()))
 
 
-@dataclass
-class CacheStats:
-    """Hit/miss counters of one cache instance."""
-
-    hits: int
-    misses: int
-    size: int
-    maxsize: int
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
 def _clone_result(result: "TranspileResult") -> "TranspileResult":
     """Independent copy of a transpile result.
 
@@ -121,59 +104,25 @@ def _clone_result(result: "TranspileResult") -> "TranspileResult":
     return clone
 
 
-class TranspileCache:
-    """Thread-safe LRU cache of :class:`TranspileResult` objects."""
+class TranspileCache(LRUCache):
+    """Thread-safe LRU cache of :class:`TranspileResult` objects.
+
+    Built on the shared :class:`~repro._lru.LRUCache` core; the copy
+    policy is a deep-enough clone in both directions, and looked-up
+    results are flagged ``from_cache``.
+    """
 
     def __init__(self, maxsize: int = 512) -> None:
-        if maxsize <= 0:
-            raise ValueError("maxsize must be positive")
-        self.maxsize = maxsize
+        super().__init__(maxsize)
         self.enabled = True
-        self._entries: "OrderedDict[Hashable, TranspileResult]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
 
-    def lookup(self, key: Hashable) -> Optional["TranspileResult"]:
-        """Return a clone of the cached result for *key*, or ``None``."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
+    def _copy_in(self, result: "TranspileResult") -> "TranspileResult":
+        return _clone_result(result)
+
+    def _copy_out(self, entry: "TranspileResult") -> "TranspileResult":
         clone = _clone_result(entry)
         clone.from_cache = True
         return clone
-
-    def store(self, key: Hashable, result: "TranspileResult") -> None:
-        """Insert *result* (cloned) under *key*, evicting the LRU entry."""
-        entry = _clone_result(result)
-        with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-            self._hits = 0
-            self._misses = 0
-
-    def stats(self) -> CacheStats:
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                size=len(self._entries),
-                maxsize=self.maxsize,
-            )
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
 
     def __repr__(self) -> str:
         s = self.stats()

@@ -1,0 +1,19 @@
+"""Shared fixtures for the service tests: tiny circuits, fast jobs."""
+
+import pytest
+
+from repro.circuits import to_qasm
+from repro.revlib.benchmarks import benchmark_circuit
+
+from service_qasm import BELL_QASM
+
+
+@pytest.fixture(scope="session")
+def bell_qasm():
+    return BELL_QASM
+
+
+@pytest.fixture(scope="session")
+def bench_qasm():
+    """A real RevLib benchmark as QASM (4 qubits, deterministic)."""
+    return to_qasm(benchmark_circuit("4gt13"))

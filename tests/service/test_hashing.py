@@ -1,0 +1,70 @@
+"""The shared hashing helper and its three consumers."""
+
+import numpy as np
+
+from repro._hashing import canonical_json, json_digest, new_digest
+from repro.circuits import from_qasm
+from repro.experiments.framework.store import config_hash
+from repro.transpiler.cache import circuit_structural_hash
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuple_and_list_identical(self):
+        assert canonical_json({"x": (1, 2)}) == canonical_json({"x": [1, 2]})
+
+    def test_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+    def test_non_json_values_stringified(self):
+        text = canonical_json({"p": np.int64(3)})
+        assert "3" in text
+
+
+class TestJsonDigest:
+    def test_digest_size(self):
+        assert len(json_digest({"a": 1}, digest_size=8)) == 16
+        assert len(json_digest({"a": 1}, digest_size=16)) == 32
+
+    def test_value_sensitivity(self):
+        assert json_digest({"a": 1}) != json_digest({"a": 2})
+
+    def test_new_digest_matches_hashlib(self):
+        digest = new_digest(digest_size=16)
+        digest.update(b"payload")
+        import hashlib
+
+        reference = hashlib.blake2b(b"payload", digest_size=16)
+        assert digest.hexdigest() == reference.hexdigest()
+
+
+class TestConsumersUnchanged:
+    def test_config_hash_value_pinned(self):
+        """Checkpoint files key on this hash — the shared-helper
+        refactor must not orphan existing ``results/`` stores."""
+        config = {
+            "iterations": 2,
+            "shots": 100,
+            "seed": 17,
+            "benchmarks": ["4gt13"],
+        }
+        assert config_hash(config) == "6ee57b017706b725"
+
+    def test_config_hash_is_json_digest(self):
+        config = {"seed": 1, "grid": [1, 2, 3]}
+        assert config_hash(config) == json_digest(config, digest_size=8)
+
+    def test_circuit_hash_formatting_independent(self, tmp_path=None):
+        a = from_qasm(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[2];\n'
+            "h q[0];\ncx q[0],q[1];\n"
+        )
+        b = from_qasm(
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n\nqreg q[2];\n'
+            "h  q[0];\ncx q[0], q[1];\n"
+        )
+        assert circuit_structural_hash(a) == circuit_structural_hash(b)

@@ -1,0 +1,129 @@
+"""The HTTP/JSON front-end and its urllib client."""
+
+import threading
+
+import pytest
+
+from repro.service import HTTPServiceClient, JobService, ServiceError
+from repro.service.http import make_server
+
+
+@pytest.fixture()
+def http_client():
+    service = JobService(workers=2).start()
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    port = httpd.server_address[1]
+    try:
+        yield HTTPServiceClient(f"http://127.0.0.1:{port}")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(timeout=10)
+        service.shutdown(drain=False)
+
+
+class TestRoutes:
+    def test_health(self, http_client):
+        health = http_client.health()
+        assert health["status"] == "ok"
+        assert "simulate" in health["kinds"]
+        assert not any(k.startswith("_") for k in health["kinds"])
+
+    def test_submit_poll_result(self, http_client, bench_qasm):
+        job = http_client.submit(
+            "simulate", {"qasm": bench_qasm, "seed": 7, "shots": 100}
+        )
+        payload = http_client.result(job, timeout=60)
+        assert payload["engine"] == "statevector"
+        assert sum(payload["counts"]["counts"].values()) == 100
+
+    def test_cached_resubmission(self, http_client, bench_qasm):
+        params = {"qasm": bench_qasm, "seed": 17, "shots": 100}
+        first = http_client.submit("simulate", dict(params))
+        cold = http_client.result(first, timeout=60)
+        second = http_client.submit("simulate", dict(params))
+        view = http_client.status(second)
+        assert view["cached"] is True
+        assert view["result"] == cold
+
+    def test_protect_over_http(self, http_client, bench_qasm):
+        job = http_client.submit(
+            "protect", {"qasm": bench_qasm, "seed": 3}
+        )
+        payload = http_client.result(job, timeout=60)
+        assert payload["metadata"]["num_qubits"] == 4
+        assert "OPENQASM" in payload["segment1_qasm"]
+
+    def test_stats(self, http_client, bench_qasm):
+        http_client.result(
+            http_client.submit(
+                "simulate", {"qasm": bench_qasm, "seed": 1, "shots": 10}
+            ),
+            timeout=60,
+        )
+        stats = http_client.stats()
+        assert stats["total_jobs"] >= 1
+        assert stats["workers"] == 2
+
+    def test_cancel_round_trip(self, http_client):
+        # saturate both workers, then cancel a queued job
+        blockers = [
+            http_client.submit("_sleep", {"seconds": 0.4})
+            for _ in range(2)
+        ]
+        queued = http_client.submit("_sleep", {"seconds": 0.2})
+        assert http_client.cancel(queued) is True
+        with pytest.raises(ServiceError, match="cancelled"):
+            http_client.result(queued, timeout=10)
+        assert http_client.wait(blockers, timeout=60)
+
+
+class TestErrors:
+    def test_unknown_kind_is_400(self, http_client):
+        with pytest.raises(ServiceError) as err:
+            http_client.submit("frobnicate", {})
+        assert err.value.status == 400
+
+    def test_bad_qasm_is_400(self, http_client):
+        with pytest.raises(ServiceError) as err:
+            http_client.submit("simulate", {"qasm": "garbage"})
+        assert err.value.status == 400
+
+    def test_unknown_job_is_404(self, http_client):
+        with pytest.raises(ServiceError) as err:
+            http_client.status("j424242")
+        assert err.value.status == 404
+
+    def test_unknown_route_is_404(self, http_client):
+        with pytest.raises(ServiceError) as err:
+            http_client._call("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_bad_priority_is_400(self, http_client):
+        with pytest.raises(ServiceError) as err:
+            http_client._call(
+                "POST",
+                "/jobs",
+                {"kind": "simulate", "params": {}, "priority": "high"},
+            )
+        assert err.value.status == 400
+
+    def test_bad_content_length_is_400(self, http_client):
+        import http.client as http_lib
+
+        host = http_client.url.split("//", 1)[1]
+        conn = http_lib.HTTPConnection(host, timeout=5)
+        conn.putrequest("POST", "/jobs")
+        conn.putheader("Content-Length", "abc")
+        conn.endheaders()
+        response = conn.getresponse()
+        assert response.status == 400
+        assert b"Content-Length" in response.read()
+        conn.close()
+
+    def test_unreachable_server(self):
+        client = HTTPServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()

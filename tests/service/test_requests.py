@@ -1,0 +1,161 @@
+"""Request validation, fingerprints, and coalesce keys."""
+
+import pytest
+
+from repro.service.requests import (
+    AttackRequest,
+    EvaluateRequest,
+    ProtectRequest,
+    RawRequest,
+    SimulateRequest,
+    TranspileRequest,
+    request_from_wire,
+)
+
+from service_qasm import BELL_QASM, MID_MEASURE_QASM
+
+
+class TestWireParsing:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            request_from_wire("frobnicate", {})
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            request_from_wire("simulate", {"qasm": BELL_QASM, "nope": 1})
+
+    def test_private_field_not_injectable(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            request_from_wire(
+                "simulate", {"qasm": BELL_QASM, "_prepared": "x"}
+            )
+
+    def test_bad_qasm_fails_at_submit(self):
+        with pytest.raises(ValueError):
+            request_from_wire("simulate", {"qasm": "garbage"})
+
+    def test_registered_raw_kind_accepted(self):
+        request = request_from_wire("_sleep", {"seconds": 0.01})
+        assert isinstance(request, RawRequest)
+        assert request.KIND == "_sleep"
+        assert request.fingerprint() is None
+        assert request.coalesce_key() is None
+
+    def test_params_round_trip(self):
+        request = request_from_wire(
+            "simulate", {"qasm": BELL_QASM, "seed": 3, "shots": 10}
+        )
+        clone = request_from_wire("simulate", request.params())
+        assert clone.params() == request.params()
+        assert clone.fingerprint() == request.fingerprint()
+
+
+class TestValidation:
+    def test_simulate_needs_positive_shots(self):
+        with pytest.raises(ValueError, match="shots"):
+            SimulateRequest(qasm=BELL_QASM, shots=0)
+
+    def test_simulate_rejects_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            SimulateRequest(qasm=BELL_QASM, precision="half")
+
+    def test_protect_needs_pool(self):
+        with pytest.raises(ValueError, match="gate_pool"):
+            ProtectRequest(qasm=BELL_QASM, gate_pool="")
+
+    def test_transpile_rejects_bad_coupling(self):
+        with pytest.raises(ValueError, match="coupling"):
+            TranspileRequest(qasm=BELL_QASM, coupling="torus")
+
+    def test_evaluate_needs_exactly_one_target(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            EvaluateRequest()
+        with pytest.raises(ValueError, match="exactly one"):
+            EvaluateRequest(benchmark="4gt13", qasm=BELL_QASM)
+
+    def test_evaluate_rejects_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            EvaluateRequest(benchmark="not_a_benchmark")
+
+    def test_attack_rejects_unknown_adversary(self):
+        with pytest.raises(ValueError, match="adversary"):
+            AttackRequest(benchmark="4gt13", adversary="quantum")
+
+
+class TestFingerprints:
+    def test_unseeded_stochastic_not_cacheable(self):
+        assert SimulateRequest(qasm=BELL_QASM).fingerprint() is None
+        assert ProtectRequest(qasm=BELL_QASM).fingerprint() is None
+        assert EvaluateRequest(benchmark="4gt13").fingerprint() is None
+
+    def test_seeded_cacheable(self):
+        assert SimulateRequest(qasm=BELL_QASM, seed=1).fingerprint()
+        assert ProtectRequest(qasm=BELL_QASM, seed=1).fingerprint()
+
+    def test_transpile_always_cacheable(self):
+        assert TranspileRequest(qasm=BELL_QASM).fingerprint()
+
+    def test_attack_always_cacheable(self):
+        assert AttackRequest(benchmark="4gt13").fingerprint()
+
+    def test_formatting_does_not_defeat_cache(self):
+        spaced = BELL_QASM.replace("cx q[0],q[1]", "cx  q[0], q[1]")
+        assert spaced != BELL_QASM
+        a = SimulateRequest(qasm=BELL_QASM, seed=5).fingerprint()
+        b = SimulateRequest(qasm=spaced, seed=5).fingerprint()
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 6},
+            {"shots": 11},
+            {"noisy": True},
+            {"method": "trajectory"},
+            {"precision": "double"},
+        ],
+    )
+    def test_any_param_change_changes_fingerprint(self, override):
+        base = dict(qasm=BELL_QASM, seed=5, shots=10)
+        reference = SimulateRequest(**base).fingerprint()
+        changed = SimulateRequest(**{**base, **override}).fingerprint()
+        assert changed != reference
+
+    def test_kind_in_fingerprint(self):
+        sim = SimulateRequest(qasm=BELL_QASM, seed=1).fingerprint()
+        prot = ProtectRequest(qasm=BELL_QASM, seed=1).fingerprint()
+        assert sim != prot
+
+
+class TestCoalesceKeys:
+    def test_eligible_requests_share_a_key(self):
+        a = SimulateRequest(qasm=BELL_QASM, seed=1, shots=10)
+        b = SimulateRequest(qasm=BELL_QASM, seed=2, shots=999)
+        assert a.coalesce_key() is not None
+        assert a.coalesce_key() == b.coalesce_key()
+
+    def test_different_circuits_do_not_coalesce(self, bench_qasm):
+        a = SimulateRequest(qasm=BELL_QASM)
+        b = SimulateRequest(qasm=bench_qasm)
+        assert a.coalesce_key() != b.coalesce_key()
+
+    def test_noisy_not_coalescable(self):
+        assert SimulateRequest(qasm=BELL_QASM, noisy=True).coalesce_key() \
+            is None
+
+    def test_single_precision_not_coalescable(self):
+        request = SimulateRequest(qasm=BELL_QASM, precision="single")
+        assert request.coalesce_key() is None
+
+    def test_forced_engine_not_coalescable(self):
+        request = SimulateRequest(qasm=BELL_QASM, method="trajectory")
+        assert request.coalesce_key() is None
+
+    def test_mid_circuit_measurement_not_coalescable(self):
+        request = SimulateRequest(qasm=MID_MEASURE_QASM)
+        assert request.coalesce_key() is None
+
+    def test_double_precision_coalesces_with_default(self):
+        a = SimulateRequest(qasm=BELL_QASM)
+        b = SimulateRequest(qasm=BELL_QASM, precision="double")
+        assert a.coalesce_key() == b.coalesce_key()

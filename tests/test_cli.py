@@ -272,3 +272,122 @@ class TestExperimentCommand:
                      "--iterations", "3"])
         assert code == 2
         assert "no 'iterations' parameter" in capsys.readouterr().err
+
+
+class TestCleanErrors:
+    """protect/restore/inspect report bad input as exit-2, no traceback."""
+
+    def test_protect_missing_file(self, capsys):
+        assert main(["protect", "/no/such/file.qasm"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_protect_bad_qasm(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text("this is not qasm")
+        assert main(["protect", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_missing_file(self, capsys):
+        assert main(["inspect", "/no/such/file.real"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_bad_qasm(self, tmp_path, capsys):
+        bad = tmp_path / "bad.qasm"
+        bad.write_text("qreg nonsense")
+        assert main(["inspect", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_restore_missing_metadata(self, capsys):
+        assert main(["restore", "/no/such/meta.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_restore_bad_json(self, tmp_path, capsys):
+        meta = tmp_path / "m.json"
+        meta.write_text("{broken")
+        assert main(["restore", str(meta)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_restore_missing_key(self, tmp_path, capsys):
+        meta = tmp_path / "m.json"
+        meta.write_text('{"num_qubits": 4}')
+        assert main(["restore", str(meta)]) == 2
+        assert "missing key" in capsys.readouterr().err
+
+    def test_restore_missing_segment_file(self, tmp_path, capsys):
+        meta = tmp_path / "m.json"
+        meta.write_text(json.dumps({
+            "num_qubits": 4,
+            "segment1": {"path": str(tmp_path / "gone.qasm"),
+                         "active_qubits": [0, 1]},
+            "segment2": {"path": str(tmp_path / "gone2.qasm"),
+                         "active_qubits": [2, 3]},
+        }))
+        assert main(["restore", str(meta)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeSubmitCLI:
+    """`repro submit` against an in-process service HTTP endpoint."""
+
+    @pytest.fixture()
+    def server_url(self):
+        import threading
+
+        from repro.service import JobService
+        from repro.service.http import make_server
+
+        service = JobService(workers=2).start()
+        httpd = make_server(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield f"http://127.0.0.1:{httpd.server_address[1]}"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=10)
+            service.shutdown(drain=False)
+
+    def test_submit_simulate_and_cache_hit(
+        self, server_url, real_file, capsys
+    ):
+        args = ["submit", "--url", server_url, "simulate", str(real_file),
+                "--seed", "7", "--shots", "200"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["state"] == "done"
+        assert first["cached"] is False
+        assert sum(first["result"]["counts"]["counts"].values()) == 200
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_submit_protect_and_status(self, server_url, real_file, capsys):
+        assert main(["submit", "--url", server_url, "protect",
+                     str(real_file), "--seed", "5"]) == 0
+        view = json.loads(capsys.readouterr().out)
+        assert view["state"] == "done"
+        assert "OPENQASM" in view["result"]["segment1_qasm"]
+        assert main(["submit", "--url", server_url, "status",
+                     view["id"]]) == 0
+        polled = json.loads(capsys.readouterr().out)
+        assert polled["state"] == "done"
+
+    def test_submit_no_wait(self, server_url, real_file, capsys):
+        assert main(["submit", "--url", server_url, "--no-wait",
+                     "simulate", str(real_file), "--seed", "1"]) == 0
+        view = json.loads(capsys.readouterr().out)
+        assert view["state"] in ("queued", "running", "done")
+
+    def test_submit_unreachable_server(self, real_file, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:9",
+                     "simulate", str(real_file)])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_missing_circuit_file(self, server_url, capsys):
+        code = main(["submit", "--url", server_url, "simulate",
+                     "/no/such.qasm"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
