@@ -1,0 +1,124 @@
+"""Compiled-execution-tier benchmarks: cold trace vs warm cache vs unfused.
+
+The tentpole claim of :mod:`repro.execution.plan`: re-simulating one
+circuit (new shots / new seeds — the suite-runner and service-coalescer
+workload) through a warm plan cache beats the legacy per-instruction
+path by >=2x, because tracing, identity checks, dtype casts and
+reshape-stride derivation happen once instead of per gate per run, and
+fusion shrinks the op stream itself.
+
+``test_warm_plan_speedup_and_no_retrace`` pins the acceptance criteria
+directly (>=2x, zero re-traces on cache hits); the ``benchmark``
+fixtures put the three paths side by side in the comparison table.
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload.
+"""
+
+import os
+import time
+
+from repro.circuits import random_circuit
+from repro.execution import build_plan, get_plan_cache, run
+from repro.execution.plan_cache import PlanCache
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+_QUBITS = 12
+_GATES = 120 if _SMOKE else 360
+_SHOTS = 200 if _SMOKE else 1000
+_REPS = 3 if _SMOKE else 10
+_POOL = ["h", "x", "t", "s", "rz", "rx", "cx", "cz", "cp"]
+
+
+def _workload():
+    return random_circuit(
+        _QUBITS, _GATES, gate_pool=_POOL, seed=42
+    ).measure_all()
+
+
+def _repeat_run(circuit, **kwargs):
+    counts = None
+    for i in range(_REPS):
+        counts = run(circuit, _SHOTS, seed=i, **kwargs)
+    return counts
+
+
+def test_bench_plan_cold_trace(benchmark):
+    """Trace + lower from scratch (the cache-miss cost, no execution)."""
+    circuit = _workload()
+
+    def cold():
+        return build_plan(circuit, "full")
+
+    plan = benchmark(cold)
+    assert plan.num_ops < plan.source_gates
+
+
+def test_bench_plan_warm_cache(benchmark):
+    """Repeated simulation through the warm plan cache (the default)."""
+    circuit = _workload()
+    run(circuit, _SHOTS, seed=0)  # warm the cache
+
+    counts = benchmark(_repeat_run, circuit)
+    assert counts.shots == _SHOTS
+
+
+def test_bench_plan_unfused_legacy(benchmark):
+    """The seed path: per-instruction loops, no plan tier."""
+    circuit = _workload()
+
+    counts = benchmark(_repeat_run, circuit, plan=False)
+    assert counts.shots == _SHOTS
+
+
+def test_warm_plan_speedup_and_no_retrace():
+    """Acceptance criteria: >=2x warm over legacy, zero re-traces."""
+    circuit = _workload()
+    cache = get_plan_cache()
+    run(circuit, _SHOTS, seed=0)  # ensure the plan is cached
+
+    missed_before = cache.stats().misses
+    start = time.perf_counter()
+    warm_counts = _repeat_run(circuit)
+    warm = time.perf_counter() - start
+    stats = cache.stats()
+    assert stats.misses == missed_before, "warm runs must never re-trace"
+    assert stats.hits > 0
+
+    start = time.perf_counter()
+    legacy_counts = _repeat_run(circuit, plan=False)
+    legacy = time.perf_counter() - start
+
+    # same distribution underneath: identical counts at pinned seeds
+    assert dict(warm_counts) == dict(legacy_counts)
+    assert legacy >= 2.0 * warm, (
+        f"warm plan path only {legacy / warm:.2f}x over the legacy loop "
+        f"(warm {warm * 1e3:.1f}ms vs legacy {legacy * 1e3:.1f}ms "
+        f"for {_REPS} run(s))"
+    )
+
+
+def test_cold_trace_amortised_by_first_run():
+    """One trace must cost less than the simulation it accelerates —
+    otherwise caching could never pay for itself."""
+    circuit = _workload()
+    # The very first trace in a process pays one-time warmup (gate-matrix
+    # resolution, numpy first-touch) that no second circuit ever sees;
+    # warm that up on a *different* circuit so we measure per-circuit cost.
+    build_plan(random_circuit(3, 8, gate_pool=_POOL, seed=7), "full")
+
+    def best_of(fn, rounds=3):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    cold = best_of(lambda: PlanCache(maxsize=4).plan_for(circuit))
+    one_run = best_of(lambda: run(circuit, _SHOTS, seed=0, plan=False))
+
+    assert cold < one_run, (
+        f"tracing ({cold * 1e3:.1f}ms) costs more than a full legacy "
+        f"run ({one_run * 1e3:.1f}ms)"
+    )

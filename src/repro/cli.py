@@ -198,8 +198,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             method=method,
             seed=args.seed,
             dtype=dtype,
+            plan=False if args.no_plan else None,
+            fuse=args.fuse,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, TypeError) as exc:
         # unknown engine name / invalid engine request -> clean error
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
@@ -208,6 +210,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"noise: {'valencia-like' if noise_model else 'none'}")
     for bitstring, count in counts.top(args.top):
         print(f"  {bitstring}  {count:>6}  ({count / counts.shots:.3f})")
+    if not args.no_plan:
+        from .execution import get_plan_cache
+
+        stats = get_plan_cache().stats()
+        print(f"plan cache: {stats.size}/{stats.maxsize} entries, "
+              f"{stats.hits} hit(s), {stats.misses} miss(es)")
     return 0
 
 
@@ -523,6 +531,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     simulate.add_argument("--top", type=int, default=5,
                           help="outcomes to print")
+    simulate.add_argument(
+        "--fuse", default=None, choices=["full", "1q", "none"],
+        help="plan fusion level ('none' = per-instruction arithmetic, "
+        "bit-identical to the pre-plan engines)",
+    )
+    simulate.add_argument(
+        "--no-plan", action="store_true",
+        help="bypass the compiled-execution tier entirely",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     transpile_cmd = sub.add_parser(

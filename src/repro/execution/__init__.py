@@ -21,6 +21,8 @@ from .registry import (
     unregister_engine,
 )
 from .api import run, select_engine
+from .plan import ExecutionPlan, FUSION_LEVELS, build_plan
+from .plan_cache import PlanCache, get_plan, get_plan_cache
 from . import engines as _builtin_engines  # noqa: F401  (registers engines)
 from .engines import (
     BatchedEngine,
@@ -31,9 +33,15 @@ from .engines import (
 
 __all__ = [
     "Counts",
+    "ExecutionPlan",
+    "FUSION_LEVELS",
+    "PlanCache",
     "SimulationEngine",
     "available_engines",
+    "build_plan",
     "get_engine",
+    "get_plan",
+    "get_plan_cache",
     "register_engine",
     "unregister_engine",
     "run",

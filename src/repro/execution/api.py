@@ -25,6 +25,7 @@ from ..noise.model import NoiseModel
 from ..simulator.counts import Counts
 from ..simulator.trajectory import measures_are_terminal
 from .engines import wants_reduced_precision
+from .plan import FUSION_LEVELS
 from .registry import get_engine
 
 __all__ = ["run", "select_engine"]
@@ -68,6 +69,8 @@ def run(
     method: str = "auto",
     seed: Seed = None,
     dtype=None,
+    plan: Optional[bool] = None,
+    fuse: Optional[str] = None,
 ) -> Counts:
     """Simulate *circuit* for *shots* and return its :class:`Counts`.
 
@@ -93,12 +96,40 @@ def run(
         ``numpy.complex64`` / ``numpy.complex128`` select explicitly —
         reduced precision is only available on the batched engine, and
         steers auto-dispatch there.
+    plan:
+        Compiled-execution knob.  ``None`` (default) leaves each
+        engine's default — plans on.  ``False`` bypasses the plan tier
+        entirely (legacy instruction-by-instruction loops).
+    fuse:
+        Fusion level for the plan tier: ``"full"`` (engine default),
+        ``"1q"``, or ``"none"`` (plans on, but one op per gate with
+        arithmetic bit-identical to the legacy loops).  See
+        :mod:`repro.execution.plan` for the determinism contract.
+
+    ``plan``/``fuse`` are forwarded to the engine only when set, so
+    externally registered engines with the pre-plan ``run`` signature
+    keep working under default dispatch.
     """
     if shots <= 0:
         raise ValueError("shots must be positive")
+    if fuse is not None and fuse not in FUSION_LEVELS:
+        raise ValueError(
+            f"unknown fusion level {fuse!r}; expected one of "
+            f"{', '.join(FUSION_LEVELS)}"
+        )
     if method == "auto":
         method = select_engine(circuit, noise_model=noise_model, dtype=dtype)
     engine = get_engine(method)
+    extra = {}
+    if plan is not None:
+        extra["plan"] = plan
+    if fuse is not None:
+        extra["fuse"] = fuse
     return engine.run(
-        circuit, shots, noise_model=noise_model, seed=seed, dtype=dtype
+        circuit,
+        shots,
+        noise_model=noise_model,
+        seed=seed,
+        dtype=dtype,
+        **extra,
     )

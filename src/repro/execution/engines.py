@@ -78,6 +78,8 @@ class StatevectorEngine:
         noise_model: Optional[NoiseModel] = None,
         seed: Seed = None,
         dtype=None,
+        plan: bool = True,
+        fuse: str = "full",
     ) -> Counts:
         _require_full_precision(self.name, dtype)
         if _is_noisy(noise_model):
@@ -90,7 +92,9 @@ class StatevectorEngine:
                 "statevector engine needs terminal measurements; use "
                 "the 'trajectory' engine for mid-circuit measurement"
             )
-        return TrajectorySimulator(None, seed).run(circuit, shots)
+        return TrajectorySimulator(None, seed, plan=plan, fuse=fuse).run(
+            circuit, shots
+        )
 
 
 @register_engine
@@ -115,9 +119,13 @@ class TrajectoryEngine:
         noise_model: Optional[NoiseModel] = None,
         seed: Seed = None,
         dtype=None,
+        plan: bool = True,
+        fuse: str = "full",
     ) -> Counts:
         _require_full_precision(self.name, dtype)
-        return TrajectorySimulator(noise_model, seed).run(circuit, shots)
+        return TrajectorySimulator(
+            noise_model, seed, plan=plan, fuse=fuse
+        ).run(circuit, shots)
 
 
 @register_engine
@@ -146,6 +154,8 @@ class BatchedEngine:
         noise_model: Optional[NoiseModel] = None,
         seed: Seed = None,
         dtype=None,
+        plan: bool = True,
+        fuse: str = "full",
     ) -> Counts:
         if wants_reduced_precision(dtype) and not measures_are_terminal(
             circuit
@@ -160,6 +170,8 @@ class BatchedEngine:
             noise_model,
             seed,
             dtype=np.complex64 if dtype is None else np.dtype(dtype),
+            plan=plan,
+            fuse=fuse,
         )
         return sim.run(circuit, shots)
 
@@ -190,8 +202,10 @@ class DensityEngine:
         noise_model: Optional[NoiseModel] = None,
         seed: Seed = None,
         dtype=None,
+        plan: bool = True,
+        fuse: str = "full",
     ) -> Counts:
         _require_full_precision(self.name, dtype)
-        return DensityMatrixSimulator(noise_model).run(
+        return DensityMatrixSimulator(noise_model, plan=plan, fuse=fuse).run(
             circuit, shots, seed=seed
         )

@@ -1,0 +1,686 @@
+"""Compiled-execution tier: trace a circuit once into a fused plan.
+
+Every engine used to walk ``circuit`` instruction-by-instruction in a
+Python loop, re-checking ``is_identity``, re-casting dtypes and
+re-deriving reshape strides for the *same* gate of the *same* circuit
+on every shot batch, experiment cell and service job.  This module
+lifts that work out of the hot loop with a three-stage, staged
+compilation (the JaCe trace -> lower -> compile -> cache design,
+applied to gate streams):
+
+1. **trace** (:func:`trace_circuit`) — one pass over the circuit
+   producing a flat op list with gate matrices resolved, identity and
+   diagonal gates classified, and measures/barriers split out.
+   Validation happens here, once per circuit, never per gate
+   application.
+2. **lower & fuse** (:func:`lower_trace`) — merge runs of adjacent
+   1-qubit gates on the same qubit into one 2x2 product, fuse runs of
+   commuting diagonal gates into a single elementwise multiply, and
+   group overlapping gates into <=3-qubit blocks with precomputed
+   matrices.  Fusion levels: ``"full"`` (all of the above, default),
+   ``"1q"`` (1q-run merging only) and ``"none"`` (one op per
+   non-identity gate — arithmetic bit-identical to the legacy
+   instruction loop).
+3. **compile & cache** — :meth:`ExecutionPlan.compiled` lazily lowers
+   the op stream to a per-(dtype, tensor layout) instruction list with
+   every per-call decision of :func:`repro.simulator.kernels` already
+   taken: reshape factors (left/mid/right), SWAP-conjugated 2q
+   matrices, dtype-cast matrices, GEMM-vs-tensordot route.  Whole
+   plans are cached by :mod:`repro.execution.plan_cache` keyed on the
+   circuit's structural hash x fusion level, so resimulating a circuit
+   across shots, experiment cells, coalesced service batches and
+   oracle equivalence checks never re-traces.
+
+Determinism contract
+--------------------
+``fusion="none"`` performs exactly the legacy per-instruction
+arithmetic (same kernels, same cast order, same route selection) —
+results are bit-identical to the pre-plan engines.  ``"1q"``/``"full"``
+reassociate floating-point products and agree with the unfused result
+to ~1e-12 (relative to unit-norm states); sampled counts at fixed
+seeds are unchanged unless a random draw lands within that margin of a
+probability boundary.  Noisy simulation always executes the unfused
+per-instruction stream (:attr:`ExecutionPlan.source_ops`): noise
+channels are anchored to individual gates, and fusing across an
+anchor would change which states the channels see.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.instruction import Instruction
+from ..simulator.kernels import (
+    _FAST_PATH_MIN_SIZE,
+    _SWAP2,
+    apply_matrix_generic,
+    matrix_is_identity,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "FUSION_LEVELS",
+    "PlanOp",
+    "TracedOp",
+    "build_plan",
+    "lower_trace",
+    "trace_circuit",
+]
+
+FUSION_LEVELS = ("none", "1q", "full")
+
+# fusion caps: blocks stay GEMM-friendly (<= 8x8 matrices); a fused
+# diagonal is one elementwise multiply whatever its width, but capping
+# it keeps the precomputed diagonal tensor small
+_MAX_BLOCK_QUBITS = 3
+_MAX_DIAG_QUBITS = 12
+
+
+def _is_diagonal(matrix: np.ndarray) -> bool:
+    """Exact off-diagonal-zero check.
+
+    Gate constructors place literal zeros off the diagonal (rz, cz, cp,
+    t, s, ...), so an exact comparison classifies every standard
+    diagonal gate without a tolerance that could misclassify a nearly
+    diagonal unitary.
+    """
+    return bool(np.count_nonzero(matrix - np.diag(np.diagonal(matrix))) == 0)
+
+
+class TracedOp:
+    """One resolved gate from the trace pass.
+
+    Keeps the source :class:`Instruction` so noisy engines can anchor
+    ``noise_model.errors_for`` lookups, plus the classification flags
+    the lowering stage and the per-instruction executors need.
+    """
+
+    __slots__ = ("matrix", "qubits", "instruction", "identity", "diagonal")
+
+    def __init__(self, instruction: Instruction) -> None:
+        self.instruction = instruction
+        self.matrix = instruction.operation.matrix
+        self.qubits = instruction.qubits
+        self.identity = matrix_is_identity(self.matrix)
+        self.diagonal = False if self.identity else _is_diagonal(self.matrix)
+
+
+class PlanOp:
+    """One lowered operation of a plan.
+
+    ``kind`` is ``"matrix"`` (dense ``2^k x 2^k`` on ``qubits``, first
+    listed qubit = most significant bit, the project-wide convention)
+    or ``"diagonal"`` (a length-``2^k`` diagonal applied as an
+    elementwise multiply).  Fused ops carry ``qubits`` sorted
+    ascending; ``"none"``-level ops keep the instruction's qubit order
+    so the arithmetic matches the legacy loop exactly.
+    """
+
+    __slots__ = ("kind", "matrix", "diag", "qubits")
+
+    def __init__(
+        self,
+        kind: str,
+        qubits: Tuple[int, ...],
+        matrix: Optional[np.ndarray] = None,
+        diag: Optional[np.ndarray] = None,
+    ) -> None:
+        self.kind = kind
+        self.qubits = qubits
+        self.matrix = matrix
+        self.diag = diag
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix form (used when a diagonal joins a block)."""
+        if self.kind == "matrix":
+            return self.matrix
+        return np.diag(self.diag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanOp({self.kind!r}, qubits={self.qubits})"
+
+
+class Trace:
+    """Flat result of the trace pass over one circuit."""
+
+    __slots__ = ("ops", "measured", "num_qubits", "num_clbits")
+
+    def __init__(
+        self,
+        ops: List[TracedOp],
+        measured: List[Tuple[int, int]],
+        num_qubits: int,
+        num_clbits: int,
+    ) -> None:
+        self.ops = ops
+        self.measured = measured
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+
+
+def trace_circuit(circuit: QuantumCircuit) -> Trace:
+    """Stage 1: one pass over *circuit* -> flat op list + measure map.
+
+    Gate matrices are resolved (and validated against the arity) here,
+    identity/diagonal classification happens here, and barriers are
+    dropped — the executors never see anything but gates again.
+    """
+    ops: List[TracedOp] = []
+    measured: List[Tuple[int, int]] = []
+    for inst in circuit:
+        if inst.is_barrier:
+            continue
+        if inst.is_measure:
+            measured.append((inst.qubits[0], inst.clbits[0]))
+            continue
+        op = TracedOp(inst)
+        dim = 1 << len(op.qubits)
+        if op.matrix.shape != (dim, dim):
+            raise ValueError(
+                f"gate {inst.name!r} matrix shape {op.matrix.shape} does "
+                f"not match its {len(op.qubits)} qubit(s)"
+            )
+        ops.append(op)
+    return Trace(ops, measured, circuit.num_qubits, circuit.num_clbits)
+
+
+# ---------------------------------------------------------------------------
+# stage 2: lower & fuse
+# ---------------------------------------------------------------------------
+
+
+def _gate_diag(matrix: np.ndarray, qubits: Tuple[int, ...]) -> PlanOp:
+    """Diagonal :class:`PlanOp` for a diagonal gate, qubits ascending.
+
+    The stored vector is re-indexed so the *smallest* qubit is the most
+    significant bit — the convention a matrix op with an ascending
+    qubit tuple uses, keeping dense reconstruction trivial.
+    """
+    diag = np.ascontiguousarray(np.diagonal(matrix))
+    k = len(qubits)
+    order = tuple(sorted(range(k), key=lambda i: qubits[i]))
+    if order != tuple(range(k)):
+        diag = (
+            diag.reshape((2,) * k).transpose(order).reshape(-1)
+        )
+        diag = np.ascontiguousarray(diag)
+    return PlanOp("diagonal", tuple(sorted(qubits)), diag=diag)
+
+
+def _fuse_1q_runs(ops: List[PlanOp]) -> List[PlanOp]:
+    """Merge runs of 1q gates per qubit into one 2x2 product.
+
+    A pending 1q product on qubit ``q`` commutes with every emitted op
+    that does not touch ``q``, so it is flushed only when a wider gate
+    needs ``q`` (immediately before it) or at the end of the stream.
+    """
+    out: List[PlanOp] = []
+    pending: Dict[int, np.ndarray] = {}
+
+    def _flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is not None:
+            out.append(PlanOp("matrix", (qubit,), matrix=matrix))
+
+    for op in ops:
+        if op.kind == "matrix" and len(op.qubits) == 1:
+            q = op.qubits[0]
+            prior = pending.get(q)
+            pending[q] = (
+                op.matrix if prior is None else op.matrix @ prior
+            )
+            continue
+        for q in op.qubits:
+            _flush(q)
+        out.append(op)
+    for q in sorted(pending):
+        _flush(q)
+    return out
+
+
+def _fuse_diagonal_runs(ops: List[PlanOp]) -> List[PlanOp]:
+    """Collapse consecutive diagonal gates into one elementwise multiply.
+
+    Diagonal gates all commute, so any run of them — whatever qubits
+    each touches — composes into a single diagonal over the union
+    (capped at ``_MAX_DIAG_QUBITS`` qubits).
+    """
+    out: List[PlanOp] = []
+    run: List[PlanOp] = []
+    run_qubits: set = set()
+
+    def _flush() -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            out.append(run[0])
+        else:
+            union = tuple(sorted(run_qubits))
+            combined = np.ones((2,) * len(union), dtype=complex)
+            for op in run:
+                shape = tuple(
+                    2 if q in op.qubits else 1 for q in union
+                )
+                combined = combined * op.diag.reshape(shape)
+            out.append(
+                PlanOp(
+                    "diagonal",
+                    union,
+                    diag=np.ascontiguousarray(combined.reshape(-1)),
+                )
+            )
+        run.clear()
+        run_qubits.clear()
+
+    for op in ops:
+        if (
+            op.kind == "diagonal"
+            and len(run_qubits | set(op.qubits)) <= _MAX_DIAG_QUBITS
+        ):
+            run.append(op)
+            run_qubits.update(op.qubits)
+        else:
+            _flush()
+            if op.kind == "diagonal":
+                run.append(op)
+                run_qubits.update(op.qubits)
+            else:
+                out.append(op)
+    _flush()
+    return out
+
+
+def _compose_block(ops: Sequence[PlanOp], qubits: Tuple[int, ...]) -> np.ndarray:
+    """Dense unitary of *ops* on the block register *qubits* (ascending).
+
+    The result follows the project convention for a gate listed with
+    ascending qubits: the smallest qubit is the most significant bit.
+    Built exactly like :func:`repro.simulator.unitary.circuit_unitary`,
+    just on the (<= 3-qubit) block space.
+    """
+    m = len(qubits)
+    dim = 1 << m
+    local = {q: j for j, q in enumerate(qubits)}
+    eye = np.eye(dim, dtype=complex).reshape((dim,) + (2,) * m)
+    # little-endian batch layout: axis j+1 = local qubit j
+    eye = eye.transpose((0,) + tuple(range(m, 0, -1)))
+    batch = np.ascontiguousarray(eye)
+    for op in ops:
+        batch = apply_matrix_generic(
+            batch,
+            op.to_matrix(),
+            tuple(local[q] for q in op.qubits),
+        )
+    batch = batch.transpose((0,) + tuple(range(m, 0, -1)))
+    unitary = batch.reshape(dim, dim).T  # little-endian: bit j = local j
+    # re-index so the smallest qubit (local 0) is the most significant
+    # bit, matching an ascending qubit listing under the project's
+    # first-listed-is-MSB convention
+    tensor = unitary.reshape((2,) * (2 * m))
+    rev = tuple(range(m - 1, -1, -1))
+    tensor = tensor.transpose(rev + tuple(m + j for j in rev))
+    return np.ascontiguousarray(tensor.reshape(dim, dim))
+
+
+def _fuse_blocks(ops: List[PlanOp]) -> List[PlanOp]:
+    """Greedy grouping of overlapping gates into <=3-qubit blocks."""
+    out: List[PlanOp] = []
+    block: List[PlanOp] = []
+    block_qubits: set = set()
+
+    def _flush() -> None:
+        if not block:
+            return
+        if len(block) == 1:
+            out.append(block[0])
+        else:
+            qubits = tuple(sorted(block_qubits))
+            matrix = _compose_block(block, qubits)
+            if _is_diagonal(matrix):
+                out.append(_gate_diag(matrix, qubits))
+            else:
+                out.append(PlanOp("matrix", qubits, matrix=matrix))
+        block.clear()
+        block_qubits.clear()
+
+    for op in ops:
+        if len(op.qubits) > _MAX_BLOCK_QUBITS:
+            _flush()
+            out.append(op)
+            continue
+        if not block or len(block_qubits | set(op.qubits)) <= _MAX_BLOCK_QUBITS:
+            block.append(op)
+            block_qubits.update(op.qubits)
+        else:
+            _flush()
+            block.append(op)
+            block_qubits.update(op.qubits)
+    _flush()
+    return out
+
+
+def lower_trace(trace: Trace, fusion: str = "full") -> List[PlanOp]:
+    """Stage 2: traced ops -> fused :class:`PlanOp` stream.
+
+    Identity gates are dropped at every level (the legacy kernels skip
+    them too, so even ``"none"`` stays bit-identical).
+    """
+    if fusion not in FUSION_LEVELS:
+        raise ValueError(
+            f"unknown fusion level {fusion!r}; expected one of "
+            f"{', '.join(FUSION_LEVELS)}"
+        )
+    live = [op for op in trace.ops if not op.identity]
+    if fusion == "none":
+        return [
+            PlanOp("matrix", op.qubits, matrix=op.matrix) for op in live
+        ]
+    ops = [
+        _gate_diag(op.matrix, op.qubits)
+        if op.diagonal
+        else PlanOp("matrix", op.qubits, matrix=op.matrix)
+        for op in live
+    ]
+    ops = _fuse_1q_runs(ops)
+    if fusion == "full":
+        ops = _fuse_diagonal_runs(ops)
+        ops = _fuse_blocks(ops)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# stage 3: compiled layouts + execution
+# ---------------------------------------------------------------------------
+
+# compiled op tags: ("g1", matrix, left, right) / ("g2", matrix, left,
+# mid, right) — the GEMM fast paths; ("nd", reshaped, axes, k) — the
+# tensordot route; ("diag", broadcast_tensor) — elementwise multiply
+
+
+def _compile_ops(
+    ops: Sequence[PlanOp],
+    dtype: np.dtype,
+    num_axes: int,
+    offset: int,
+    conjugate: bool,
+    gemm: bool,
+) -> List[Tuple]:
+    """Lower plan ops to a layout-bound instruction list.
+
+    *num_axes* is the number of qubit axes of the target tensor (``n``
+    for states and shot batches, ``2n`` for a density tensor), with
+    qubit ``q`` living on tensor axis ``q + offset + 1`` (axis 0 is the
+    batch axis).  *conjugate* compiles the adjoint-side stream the
+    density engine applies to the column axes.  *gemm* selects the
+    axis-move + GEMM route; both routes reproduce the corresponding
+    :func:`~repro.simulator.kernels.apply_matrix_batch` arithmetic
+    exactly (same cast order, same SWAP conjugation).
+    """
+    compiled: List[Tuple] = []
+    for op in ops:
+        qubits = tuple(q + offset for q in op.qubits)
+        if op.kind == "diagonal":
+            diag = np.conj(op.diag) if conjugate else op.diag
+            diag = diag.astype(dtype, copy=False)
+            shape = [1] * (num_axes + 1)
+            for q in qubits:
+                shape[q + 1] = 2
+            compiled.append(
+                ("diag", np.ascontiguousarray(diag).reshape(shape))
+            )
+            continue
+        matrix = np.conj(op.matrix) if conjugate else op.matrix
+        k = len(qubits)
+        if gemm and k == 1:
+            q = qubits[0]
+            compiled.append(
+                (
+                    "g1",
+                    np.ascontiguousarray(matrix.astype(dtype, copy=False)),
+                    1 << q,
+                    1 << (num_axes - 1 - q),
+                )
+            )
+        elif gemm and k == 2:
+            qa, qb = qubits
+            cast = matrix.astype(dtype, copy=False)
+            if qa > qb:
+                # same normalisation (and cast order) as the kernel
+                cast = (_SWAP2 @ cast @ _SWAP2).astype(dtype, copy=False)
+                qa, qb = qb, qa
+            compiled.append(
+                (
+                    "g2",
+                    np.ascontiguousarray(cast),
+                    1 << qa,
+                    1 << (qb - qa - 1),
+                    1 << (num_axes - 1 - qb),
+                )
+            )
+        else:
+            cast = matrix.astype(dtype, copy=False)
+            compiled.append(
+                (
+                    "nd",
+                    np.ascontiguousarray(cast.reshape((2,) * (2 * k))),
+                    [q + 1 for q in qubits],
+                    k,
+                )
+            )
+    return compiled
+
+
+def execute_compiled(batch: np.ndarray, compiled: Sequence[Tuple]) -> np.ndarray:
+    """Run a compiled op list over a ``(batch, 2, ..., 2)`` tensor.
+
+    The loop body mirrors the kernel fast paths with every per-call
+    decision (identity check, dtype cast, stride arithmetic, route
+    selection) already taken at compile time.
+    """
+    for op in compiled:
+        tag = op[0]
+        if tag == "g1":
+            _, matrix, left, right = op
+            shots = batch.shape[0]
+            shape = batch.shape
+            view = batch.reshape(shots * left, 2, right)
+            stacked = np.ascontiguousarray(
+                view.transpose(1, 0, 2)
+            ).reshape(2, -1)
+            out = (matrix @ stacked).reshape(2, shots * left, right)
+            batch = np.ascontiguousarray(
+                out.transpose(1, 0, 2)
+            ).reshape(shape)
+        elif tag == "g2":
+            _, matrix, left, mid, right = op
+            shots = batch.shape[0]
+            shape = batch.shape
+            view = batch.reshape(shots * left, 2, mid, 2, right)
+            stacked = np.ascontiguousarray(
+                view.transpose(1, 3, 0, 2, 4)
+            ).reshape(4, -1)
+            out = (matrix @ stacked).reshape(2, 2, shots * left, mid, right)
+            batch = np.ascontiguousarray(
+                out.transpose(2, 0, 3, 1, 4)
+            ).reshape(shape)
+        elif tag == "diag":
+            batch = batch * op[1]
+        else:  # "nd"
+            _, reshaped, target_axes, k = op
+            moved = np.tensordot(
+                reshaped, batch, axes=(list(range(k, 2 * k)), target_axes)
+            )
+            moved = np.moveaxis(moved, k, 0)
+            batch = np.ascontiguousarray(
+                np.moveaxis(moved, range(1, k + 1), target_axes)
+            )
+    return batch
+
+
+class ExecutionPlan:
+    """A traced, lowered, layout-compilable execution plan.
+
+    Immutable once built (safe to share across threads and cache
+    without copying); the lazily-built compiled layouts are guarded by
+    a per-plan lock.  Carries ``TranspileResult``-style timing fields
+    (:attr:`trace_seconds`, :attr:`lower_seconds`) from the original
+    build.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_qubits: int,
+        num_clbits: int,
+        fusion: str,
+        ops: Sequence[PlanOp],
+        source_ops: Sequence[TracedOp],
+        measured: Sequence[Tuple[int, int]],
+        trace_seconds: float,
+        lower_seconds: float,
+    ) -> None:
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.fusion = fusion
+        self.ops: Tuple[PlanOp, ...] = tuple(ops)
+        self.source_ops: Tuple[TracedOp, ...] = tuple(source_ops)
+        self.measured: Tuple[Tuple[int, int], ...] = tuple(measured)
+        self.trace_seconds = trace_seconds
+        self.lower_seconds = lower_seconds
+        self._compiled: Dict[Tuple, List[Tuple]] = {}
+        self._lock = threading.Lock()
+
+    # -- TranspileResult-style summary fields ---------------------------
+    @property
+    def source_gates(self) -> int:
+        """Gates in the traced circuit (identities included)."""
+        return len(self.source_ops)
+
+    @property
+    def num_ops(self) -> int:
+        """Ops in the fused stream."""
+        return len(self.ops)
+
+    @property
+    def compile_seconds(self) -> float:
+        return self.trace_seconds + self.lower_seconds
+
+    def has_mid_circuit_measurement(self) -> bool:
+        """True when a gate follows a measurement on the same qubit.
+
+        Mirrors :func:`repro.simulator.trajectory.measures_are_terminal`
+        without another circuit pass — the trace already interleaves
+        gates and measures in program order... it is answered from the
+        recorded measure map instead (all built-in callers check it
+        before executing a plan).
+        """
+        measured = {q for q, _ in self.measured}
+        for op in self.source_ops:
+            if measured.intersection(op.qubits):
+                return True
+        return False
+
+    # -- layout compilation ---------------------------------------------
+    def compiled(
+        self,
+        dtype,
+        *,
+        num_axes: Optional[int] = None,
+        offset: int = 0,
+        conjugate: bool = False,
+        gemm: bool = False,
+        stream: str = "fused",
+    ) -> List[Tuple]:
+        """Layout-bound instruction list (cached per parameter set).
+
+        *stream* is ``"fused"`` (the lowered ops) or ``"source"`` (one
+        op per non-identity traced gate — the noisy engines' stream,
+        aligned with :meth:`source_indices`).
+        """
+        dtype = np.dtype(dtype)
+        if num_axes is None:
+            num_axes = self.num_qubits
+        key = (dtype, num_axes, offset, conjugate, gemm, stream)
+        cached = self._compiled.get(key)
+        if cached is not None:
+            return cached
+        if stream == "fused":
+            ops: Sequence[PlanOp] = self.ops
+        else:
+            ops = [
+                PlanOp("matrix", op.qubits, matrix=op.matrix)
+                for op in self.source_ops
+                if not op.identity
+            ]
+        compiled = _compile_ops(ops, dtype, num_axes, offset, conjugate, gemm)
+        with self._lock:
+            return self._compiled.setdefault(key, compiled)
+
+    def execute(self, batch: np.ndarray, *, gemm: Optional[bool] = None) -> np.ndarray:
+        """Apply the fused op stream to a ``(batch, 2, ..., 2)`` tensor.
+
+        Route selection matches the kernels: GEMM only for large,
+        C-contiguous tensors (the decision is made once here instead of
+        per gate).
+        """
+        if gemm is None:
+            gemm = (
+                batch.size >= _FAST_PATH_MIN_SIZE
+                and batch.flags.c_contiguous
+            )
+        compiled = self.compiled(
+            batch.dtype, num_axes=batch.ndim - 1, gemm=gemm
+        )
+        return execute_compiled(batch, compiled)
+
+    def execute_density(self, tensor: np.ndarray) -> np.ndarray:
+        """Apply the fused stream to a ``(2,)*2n`` density tensor.
+
+        Each op is conjugated in the legacy order — ``U rho`` on the
+        row axes, then ``(conj U)`` on the mirrored column axes —
+        before the next op runs, so ``fusion="none"`` stays
+        bit-identical to the per-instruction density loop.
+        """
+        n = self.num_qubits
+        batch = tensor.reshape((1,) + tensor.shape)
+        gemm = (
+            batch.size >= _FAST_PATH_MIN_SIZE and batch.flags.c_contiguous
+        )
+        rows = self.compiled(batch.dtype, num_axes=2 * n, gemm=gemm)
+        cols = self.compiled(
+            batch.dtype, num_axes=2 * n, offset=n, conjugate=True, gemm=gemm
+        )
+        for row_op, col_op in zip(rows, cols):
+            batch = execute_compiled(batch, (row_op, col_op))
+        return batch.reshape(tensor.shape)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan(qubits={self.num_qubits}, "
+            f"fusion={self.fusion!r}, ops={self.num_ops} "
+            f"from {self.source_gates} gate(s))"
+        )
+
+
+def build_plan(circuit: QuantumCircuit, fusion: str = "full") -> ExecutionPlan:
+    """Trace + lower *circuit* into a fresh :class:`ExecutionPlan`."""
+    t0 = time.perf_counter()
+    trace = trace_circuit(circuit)
+    t1 = time.perf_counter()
+    ops = lower_trace(trace, fusion)
+    t2 = time.perf_counter()
+    return ExecutionPlan(
+        num_qubits=trace.num_qubits,
+        num_clbits=trace.num_clbits,
+        fusion=fusion,
+        ops=ops,
+        source_ops=trace.ops,
+        measured=trace.measured,
+        trace_seconds=t1 - t0,
+        lower_seconds=t2 - t1,
+    )

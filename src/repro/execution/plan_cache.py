@@ -1,0 +1,89 @@
+"""Per-process cache of compiled :class:`~repro.execution.plan.ExecutionPlan`.
+
+Tracing and fusing a circuit is deterministic, so a plan can be shared
+by every caller that simulates a structurally equal circuit: repeated
+shots in a benchmark suite, experiment grid cells, coalesced service
+batches and attack-oracle equivalence checks.  The cache is built on
+the shared :class:`~repro._lru.LRUCache` core and keyed by the
+circuit's structural hash (:func:`~repro.transpiler.cache.\
+circuit_structural_hash`) x fusion level.  Plans are immutable once
+built (their lazily-compiled per-dtype/layout streams are guarded by a
+per-plan lock), so the copy hooks are identity — a hit costs one dict
+lookup.
+
+Cache stats follow the transpile-cache discipline: ``misses`` counts
+exactly the circuits that had to be traced, which is what the bench
+smoke asserts ("zero re-traces on cache hits").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .._lru import CacheStats, LRUCache
+from ..circuits.circuit import QuantumCircuit
+from ..transpiler.cache import circuit_structural_hash
+from .plan import ExecutionPlan, FUSION_LEVELS, build_plan
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "get_plan",
+    "get_plan_cache",
+]
+
+
+class PlanCache(LRUCache):
+    """Thread-safe LRU cache of execution plans.
+
+    Plans are immutable, so both copy hooks are the identity (the
+    base-class default) — unlike the transpile cache, no cloning is
+    needed in either direction.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        super().__init__(maxsize)
+        self.enabled = True
+
+    def plan_for(
+        self, circuit: QuantumCircuit, fusion: str = "full"
+    ) -> ExecutionPlan:
+        """The cached plan for *circuit*, tracing it on first sight."""
+        if fusion not in FUSION_LEVELS:
+            raise ValueError(
+                f"unknown fusion level {fusion!r}; expected one of "
+                f"{', '.join(FUSION_LEVELS)}"
+            )
+        if not self.enabled:
+            return build_plan(circuit, fusion)
+        key = (circuit_structural_hash(circuit), fusion)
+        plan = self.lookup(key)
+        if plan is None:
+            plan = build_plan(circuit, fusion)
+            self.store(key, plan)
+        return plan
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"PlanCache(size={s.size}/{s.maxsize}, hits={s.hits}, "
+            f"misses={s.misses}, enabled={self.enabled})"
+        )
+
+
+_GLOBAL_CACHE = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The per-process cache every engine consults."""
+    return _GLOBAL_CACHE
+
+
+def get_plan(
+    circuit: QuantumCircuit,
+    fusion: str = "full",
+    *,
+    cache: Optional[PlanCache] = None,
+) -> ExecutionPlan:
+    """Cached trace + lower of *circuit* at the given fusion level."""
+    return (cache or _GLOBAL_CACHE).plan_for(circuit, fusion)

@@ -146,6 +146,17 @@ def _cmd_run(args: argparse.Namespace, resume: bool = False) -> int:
         f"{report.computed} computed"
         + (f"  [{report.store_path}]" if report.store_path else "")
     )
+    if not args.quiet and report.computed:
+        # compiled-execution tier reuse across the grid's simulations
+        # (per-process; parallel workers warm their own caches)
+        from ...execution.plan_cache import get_plan_cache
+
+        stats = get_plan_cache().stats()
+        if stats.hits or stats.misses:
+            print(
+                f"plan cache: {stats.size}/{stats.maxsize} entries, "
+                f"{stats.hits} hit(s), {stats.misses} trace(s)"
+            )
     if report.complete:
         print(report.render())
         return 0

@@ -15,6 +15,12 @@ Bit-identity: the per-request sampling is
 shared distribution comes from the same gate stream, so a coalesced
 job's counts are bit-for-bit those of an uncoalesced run.  Tests in
 ``tests/service/test_coalesce.py`` pin this down.
+
+The evolution itself goes through the compiled-plan tier of
+:mod:`repro.execution.plan` (the default ``terminal_distribution``
+path), so repeat submissions of one circuit skip re-tracing even when
+they arrive too far apart to coalesce — the plan cache is the
+longer-lived layer under this scheduler-level batching.
 """
 
 from __future__ import annotations

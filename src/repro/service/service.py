@@ -336,6 +336,8 @@ class JobService:
 
     def stats(self) -> Dict[str, Any]:
         """Queue, worker, coalescing and cache counters."""
+        from ..execution.plan_cache import get_plan_cache
+
         with self._mutex:
             states: Dict[str, int] = {s.value: 0 for s in JobState}
             cached_hits = 0
@@ -343,6 +345,7 @@ class JobService:
                 states[job.state.value] += 1
                 cached_hits += job.cached
         cache_stats = self.cache.stats() if self.cache is not None else None
+        plan_stats = get_plan_cache().stats()
         return {
             "jobs": states,
             "total_jobs": sum(states.values()),
@@ -359,6 +362,14 @@ class JobService:
                 "maxsize": cache_stats.maxsize,
             },
             "cached_jobs": cached_hits,
+            # compiled-execution tier (repro.execution.plan): hits are
+            # simulations that reused a traced plan, misses are traces
+            "plan_cache": {
+                "hits": plan_stats.hits,
+                "misses": plan_stats.misses,
+                "size": plan_stats.size,
+                "maxsize": plan_stats.maxsize,
+            },
         }
 
     # ------------------------------------------------------------------

@@ -39,7 +39,8 @@ benchmarks and tests can compare the two routes directly.
 
 from __future__ import annotations
 
-from typing import Sequence
+import weakref
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -48,6 +49,7 @@ __all__ = [
     "apply_matrix_generic",
     "apply_matrix_state",
     "is_identity",
+    "matrix_is_identity",
 ]
 
 _SWAP2 = np.array(
@@ -65,9 +67,42 @@ _SWAP2 = np.array(
 _FAST_PATH_MIN_SIZE = 1 << 16
 
 
+# identity templates for the common gate sizes, so the check below does
+# not allocate a fresh eye on every gate application
+_EYES = {dim: np.eye(dim) for dim in (2, 4, 8, 16)}
+
+
 def is_identity(matrix: np.ndarray, atol: float = 1e-12) -> bool:
     """True when *matrix* is the exact identity (within *atol*)."""
-    return bool(np.allclose(matrix, np.eye(matrix.shape[0]), atol=atol))
+    eye = _EYES.get(matrix.shape[0])
+    if eye is None:
+        eye = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix, eye, atol=atol))
+
+
+# Verdicts memoized per matrix *object*: gate matrices are built once
+# per gate instance and frozen (``setflags(write=False)``), so the
+# answer can never change for a given array.  Keyed by ``id`` with a
+# weakref finalizer evicting the entry when the array dies, which also
+# protects against id reuse.  Writable arrays are never memoized — a
+# caller could mutate them in place after the first check.
+_IDENTITY_MEMO: Dict[int, bool] = {}
+
+
+def matrix_is_identity(matrix: np.ndarray) -> bool:
+    """Memoizing :func:`is_identity` for immutable (frozen) matrices."""
+    key = id(matrix)
+    hit = _IDENTITY_MEMO.get(key)
+    if hit is not None:
+        return hit
+    flag = is_identity(matrix)
+    if not matrix.flags.writeable:
+        try:
+            weakref.finalize(matrix, _IDENTITY_MEMO.pop, key, None)
+        except TypeError:  # pragma: no cover - ndarray is weakref-able
+            return flag
+        _IDENTITY_MEMO[key] = flag
+    return flag
 
 
 def apply_matrix_batch(
@@ -80,7 +115,7 @@ def apply_matrix_batch(
     identity matrices are skipped and return the input unchanged.
     """
     matrix = np.asarray(matrix)
-    if is_identity(matrix):
+    if matrix_is_identity(matrix):
         return batch
     matrix = matrix.astype(batch.dtype, copy=False)
     if batch.size < _FAST_PATH_MIN_SIZE:

@@ -145,13 +145,42 @@ class Statevector:
     def apply_gate(self, gate: Gate, qubits: Sequence[int]) -> "Statevector":
         return self.apply_matrix(gate.matrix, qubits)
 
-    def evolve(self, circuit: QuantumCircuit) -> "Statevector":
-        """Apply every unitary of *circuit* (measures/barriers skipped)."""
+    def evolve(
+        self,
+        circuit: QuantumCircuit,
+        *,
+        plan: bool = True,
+        fuse: str = "full",
+    ) -> "Statevector":
+        """Apply every unitary of *circuit* (measures/barriers skipped).
+
+        By default the circuit is traced once into a cached, fused
+        :class:`~repro.execution.plan.ExecutionPlan` and executed in
+        one compiled pass.  ``fuse="none"`` keeps the plan but applies
+        one op per gate with arithmetic bit-identical to the legacy
+        loop; ``plan=False`` bypasses plans entirely.  Validation is
+        per-circuit either way (circuits validate their instructions at
+        construction), not per-instruction as :meth:`apply_matrix`
+        does for ad-hoc matrices.
+        """
         if circuit.num_qubits != self.num_qubits:
             raise ValueError("circuit width does not match state")
+        if plan:
+            from ..execution.plan_cache import get_plan
+
+            compiled = get_plan(circuit, fuse)
+            batch = self._tensor.reshape((1,) + self._tensor.shape)
+            self._tensor = compiled.execute(batch).reshape(
+                self._tensor.shape
+            )
+            return self
         for inst in circuit:
             if inst.is_gate:
-                self.apply_matrix(inst.operation.matrix, inst.qubits)
+                self._tensor = apply_matrix_state(
+                    self._tensor,
+                    np.asarray(inst.operation.matrix, dtype=complex),
+                    inst.qubits,
+                )
         return self
 
     # ------------------------------------------------------------------
@@ -200,7 +229,12 @@ class Statevector:
         if rng is None:
             rng = np.random.default_rng()
         probs = self.probabilities()
-        probs = probs / probs.sum()
+        total = probs.sum()
+        # renormalise only on real drift (non-unitary Kraus evolution);
+        # for normalised states this skips an O(2^n) divide per call.
+        # 1e-9 is well inside rng.choice's own sum-to-1 tolerance.
+        if abs(total - 1.0) > 1e-9:
+            probs = probs / total
         outcomes = rng.choice(len(probs), size=shots, p=probs)
         # vectorised histogram: one np.unique pass (plus a bit-gather
         # when marginalising onto a qubit subset), no per-shot loop

@@ -33,6 +33,9 @@ __all__ = [
 
 def terminal_distribution(
     circuit: QuantumCircuit,
+    *,
+    plan: bool = True,
+    fuse: str = "full",
 ) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
     """Final-state outcome distribution of a noiseless circuit.
 
@@ -42,7 +45,24 @@ def terminal_distribution(
     expensive half of the noiseless fast path; :func:`sample_terminal_counts`
     is the cheap half, so one evolution can serve many samplings —
     the service layer's request coalescer relies on exactly that split.
+
+    By default the circuit runs through the cached, fused execution
+    plan (see :mod:`repro.execution.plan`); ``fuse="none"`` keeps the
+    plan but stays bit-identical to the legacy loop, ``plan=False``
+    bypasses plans entirely.
     """
+    if plan:
+        from ..execution.plan_cache import get_plan
+
+        compiled = get_plan(circuit, fuse)
+        n = circuit.num_qubits
+        batch = np.zeros((1,) + (2,) * n, dtype=complex)
+        batch[(0,) * (n + 1)] = 1.0
+        tensor = compiled.execute(batch)[0]
+        # same little-endian flatten + |amp|^2 as
+        # ``Statevector.probabilities``
+        vec = tensor.transpose(tuple(reversed(range(n)))).reshape(-1)
+        return (vec.conj() * vec).real.copy(), list(compiled.measured)
     state = Statevector(circuit.num_qubits)
     measured: List[Tuple[int, int]] = []
     for inst in circuit:
@@ -82,8 +102,17 @@ class TrajectorySimulator:
         self,
         noise_model: Optional[NoiseModel] = None,
         seed: Optional[Union[int, np.random.Generator]] = None,
+        *,
+        plan: bool = True,
+        fuse: str = "full",
     ) -> None:
+        """*plan*/*fuse* steer the noiseless fast path through the
+        compiled-plan tier (see :mod:`repro.execution.plan`); per-shot
+        trajectories always walk instruction-by-instruction — noise
+        channels and collapses anchor to individual gates."""
         self.noise_model = noise_model
+        self.plan = plan
+        self.fuse = fuse
         if isinstance(seed, np.random.Generator):
             self._rng = seed
         else:
@@ -106,7 +135,9 @@ class TrajectorySimulator:
 
     # ------------------------------------------------------------------
     def _run_fast(self, circuit: QuantumCircuit, shots: int) -> Counts:
-        probs, measured = terminal_distribution(circuit)
+        probs, measured = terminal_distribution(
+            circuit, plan=self.plan, fuse=self.fuse
+        )
         return sample_terminal_counts(
             probs,
             measured,

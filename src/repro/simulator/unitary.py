@@ -24,11 +24,16 @@ __all__ = [
 ]
 
 
-def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+def circuit_unitary(
+    circuit: QuantumCircuit, *, plan: bool = True, fuse: str = "full"
+) -> np.ndarray:
     """The little-endian unitary matrix of *circuit*.
 
     Column ``k`` is the state produced from basis input ``|k>``.
     Raises :class:`ValueError` when the circuit contains measurements.
+    By default the circuit runs through the cached, fused execution
+    plan (see :mod:`repro.execution.plan`) — the attack oracles call
+    this on the same circuits the engines simulate, sharing one trace.
     """
     if circuit.has_measurements():
         raise ValueError("cannot build a unitary for a measured circuit")
@@ -42,11 +47,16 @@ def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
         # batch layout (axis i+1 = qubit i)
         eye = eye.transpose((0,) + tuple(range(n, 0, -1)))
     batch = np.ascontiguousarray(eye)
-    for inst in circuit:
-        if inst.is_gate:
-            batch = apply_matrix_batch(
-                batch, inst.operation.matrix, inst.qubits
-            )
+    if plan:
+        from ..execution.plan_cache import get_plan
+
+        batch = get_plan(circuit, fuse).execute(batch)
+    else:
+        for inst in circuit:
+            if inst.is_gate:
+                batch = apply_matrix_batch(
+                    batch, inst.operation.matrix, inst.qubits
+                )
     if n:
         batch = batch.transpose((0,) + tuple(range(n, 0, -1)))
     # row k is the little-endian output vector for input |k>; the

@@ -1,0 +1,381 @@
+"""Compiled-execution tier: trace/lower/fuse, the plan cache, engines.
+
+The contract under test (see ``repro/execution/plan.py``):
+
+* ``fuse="none"`` is bit-identical to the legacy per-instruction loops
+  on every engine;
+* ``"1q"``/``"full"`` agree with the unfused result to 1e-12;
+* the plan cache traces a circuit exactly once per fusion level
+  (misses == traces), evicts LRU, and is safe to hit from threads;
+* paper-benchmark counts at pinned seeds are unchanged by the default
+  fused path.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, random_circuit
+from repro.execution import (
+    build_plan,
+    get_plan,
+    get_plan_cache,
+    register_engine,
+    run,
+    unregister_engine,
+)
+from repro.execution.plan import lower_trace, trace_circuit
+from repro.execution.plan_cache import PlanCache
+from repro.noise import depolarizing
+from repro.noise.model import NoiseModel
+from repro.revlib import benchmark_circuit
+from repro.simulator import DensityMatrixSimulator, Statevector
+from repro.simulator.batched import BatchedTrajectorySimulator
+from repro.simulator.kernels import matrix_is_identity
+from repro.simulator.trajectory import terminal_distribution
+from repro.simulator.unitary import circuit_unitary
+
+FUSIONS = ("none", "1q", "full")
+POOL = ["x", "y", "z", "h", "s", "t", "rx", "ry", "rz", "cx", "cz", "swap"]
+
+
+def _random(n, gates, seed):
+    return random_circuit(n, gates, gate_pool=POOL, seed=seed)
+
+
+def _mixed_circuit():
+    """Identities, barriers, diagonal runs, overlapping 2q gates."""
+    qc = QuantumCircuit(4, 4)
+    qc.h(0).i(1).t(0).s(0).rz(0.7, 1).cz(0, 1).cp(0.3, 1, 2)
+    qc.barrier()
+    qc.cx(2, 1).i(3).x(3).y(3).ccx(0, 1, 2).swap(2, 3).rz(1.1, 3)
+    for q in range(4):
+        qc.measure(q, q)
+    return qc
+
+
+def _noise():
+    model = NoiseModel("depol")
+    model.add_all_qubit_quantum_error(
+        depolarizing(0.02), ["h", "x", "y", "cx", "cz"]
+    )
+    return model
+
+
+class TestTraceAndLower:
+    def test_trace_splits_measures_and_drops_barriers(self):
+        trace = trace_circuit(_mixed_circuit())
+        assert trace.measured == [(q, q) for q in range(4)]
+        assert all(op.instruction.is_gate for op in trace.ops)
+
+    def test_trace_keeps_identity_gates_with_flags(self):
+        # noise models bind errors to identity gates too, so the traced
+        # stream must keep them (flagged) for the per-instruction mode
+        trace = trace_circuit(_mixed_circuit())
+        identity_ops = [op for op in trace.ops if op.identity]
+        assert len(identity_ops) == 2
+
+    def test_diagonal_classification(self):
+        qc = QuantumCircuit(2)
+        qc.rz(0.5, 0).cz(0, 1).cp(0.2, 0, 1).t(1).h(0)
+        trace = trace_circuit(qc)
+        assert [op.diagonal for op in trace.ops] == [
+            True, True, True, True, False,
+        ]
+
+    def test_lowering_drops_identities_at_every_level(self):
+        trace = trace_circuit(_mixed_circuit())
+        for fusion in FUSIONS:
+            ops = lower_trace(trace, fusion)
+            assert len(ops) < len(trace.ops)
+
+    def test_fusion_reduces_op_count(self):
+        qc = _random(4, 60, seed=11)
+        plan_none = build_plan(qc, "none")
+        plan_full = build_plan(qc, "full")
+        assert plan_full.num_ops < plan_none.num_ops
+
+    def test_blocks_capped_at_three_qubits(self):
+        plan = build_plan(_random(6, 80, seed=3), "full")
+        assert all(len(op.qubits) <= 3 for op in plan.ops)
+
+    def test_unknown_fusion_level_rejected(self):
+        with pytest.raises(ValueError, match="fusion"):
+            build_plan(QuantumCircuit(1), "2q")
+
+    def test_timing_and_summary_fields(self):
+        plan = build_plan(_mixed_circuit(), "full")
+        assert plan.trace_seconds >= 0.0
+        assert plan.lower_seconds >= 0.0
+        assert plan.compile_seconds == pytest.approx(
+            plan.trace_seconds + plan.lower_seconds
+        )
+        assert plan.source_gates == 14
+        assert 0 < plan.num_ops <= plan.source_gates
+
+
+class TestFusedAgreement:
+    """Fused vs unfused to 1e-12; ``none`` bit-identical — per engine."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    def test_statevector_evolve(self, seed, fusion):
+        qc = _random(5, 40, seed)
+        legacy = Statevector(5).evolve(qc, plan=False)._tensor
+        fused = Statevector(5).evolve(qc, fuse=fusion)._tensor
+        if fusion == "none":
+            assert np.array_equal(fused, legacy)
+        np.testing.assert_allclose(fused, legacy, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    def test_terminal_distribution(self, seed, fusion):
+        qc = _random(4, 30, seed)
+        legacy, measured_legacy = terminal_distribution(qc, plan=False)
+        fused, measured = terminal_distribution(qc, fuse=fusion)
+        assert measured == measured_legacy
+        if fusion == "none":
+            assert np.array_equal(fused, legacy)
+        np.testing.assert_allclose(fused, legacy, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    def test_unitary(self, seed, fusion):
+        qc = _random(4, 30, seed)
+        legacy = circuit_unitary(qc, plan=False)
+        fused = circuit_unitary(qc, fuse=fusion)
+        if fusion == "none":
+            assert np.array_equal(fused, legacy)
+        np.testing.assert_allclose(fused, legacy, atol=1e-12)
+
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    def test_density_noiseless(self, fusion):
+        qc = _random(4, 30, seed=5)
+        legacy = DensityMatrixSimulator(plan=False).evolve(qc).to_matrix()
+        fused = DensityMatrixSimulator(fuse=fusion).evolve(qc).to_matrix()
+        if fusion == "none":
+            assert np.array_equal(fused, legacy)
+        np.testing.assert_allclose(fused, legacy, atol=1e-12)
+
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    def test_batched_noiseless_counts(self, fusion):
+        qc = _mixed_circuit()
+        legacy = BatchedTrajectorySimulator(seed=9, plan=False).run(qc, 600)
+        fused = BatchedTrajectorySimulator(seed=9, fuse=fusion).run(qc, 600)
+        assert dict(fused) == dict(legacy)
+
+    def test_mixed_circuit_all_engines_through_run(self):
+        qc = _mixed_circuit()
+        for method in ("statevector", "batched", "trajectory", "density"):
+            legacy = run(qc, 500, method=method, seed=13, plan=False)
+            for fusion in FUSIONS:
+                fused = run(qc, 500, method=method, seed=13, fuse=fusion)
+                assert dict(fused) == dict(legacy), (method, fusion)
+
+    def test_large_batch_gemm_route(self):
+        # force the GEMM fast paths (batch.size >= 2^16)
+        qc = _random(6, 40, seed=7)
+        sim_a = BatchedTrajectorySimulator(seed=21, plan=False)
+        sim_b = BatchedTrajectorySimulator(seed=21, fuse="none")
+        assert dict(sim_a.run(qc, 2048)) == dict(sim_b.run(qc, 2048))
+
+
+class TestNoisyAnchoring:
+    """Noisy runs execute the per-instruction stream: bit-identical."""
+
+    def test_batched_noisy_bit_identical(self):
+        qc = _mixed_circuit()
+        model = _noise()
+        for fusion in FUSIONS:
+            a = BatchedTrajectorySimulator(model, seed=5, fuse=fusion).run(
+                qc, 400
+            )
+            b = BatchedTrajectorySimulator(model, seed=5, plan=False).run(
+                qc, 400
+            )
+            assert dict(a) == dict(b)
+
+    def test_density_noisy_bit_identical(self):
+        qc = _random(3, 25, seed=2)
+        model = _noise()
+        a = DensityMatrixSimulator(model).evolve(qc).to_matrix()
+        b = DensityMatrixSimulator(model, plan=False).evolve(qc).to_matrix()
+        assert np.array_equal(a, b)
+
+    def test_noise_on_identity_gates_still_fires(self):
+        # the model binds a channel to 'i'; the traced stream must keep
+        # the (dropped-from-fusion) identity gate as a noise anchor
+        qc = QuantumCircuit(1)
+        qc.h(0).i(0).i(0)
+        model = NoiseModel("id-noise")
+        model.add_all_qubit_quantum_error(depolarizing(0.3), ["id"])
+        a = DensityMatrixSimulator(model).evolve(qc).to_matrix()
+        b = DensityMatrixSimulator(model, plan=False).evolve(qc).to_matrix()
+        assert np.array_equal(a, b)
+        assert a[0, 1] != pytest.approx(0.5)  # the noise clearly acted
+
+
+class TestPlanCache:
+    def test_hit_miss_counting(self):
+        cache = PlanCache(maxsize=8)
+        qc = _random(3, 20, seed=1)
+        first = cache.plan_for(qc)
+        second = cache.plan_for(qc)
+        assert first is second  # identity copy policy: plans are shared
+        stats = cache.stats()
+        assert (stats.misses, stats.hits) == (1, 1)
+
+    def test_structural_keying_across_equal_circuits(self):
+        # equal structure, distinct objects -> one trace
+        cache = PlanCache(maxsize=8)
+        cache.plan_for(_mixed_circuit())
+        cache.plan_for(_mixed_circuit())
+        assert cache.stats().misses == 1
+
+    def test_fusion_levels_are_distinct_keys(self):
+        cache = PlanCache(maxsize=8)
+        qc = _random(3, 20, seed=1)
+        for fusion in FUSIONS:
+            cache.plan_for(qc, fusion)
+        assert cache.stats().misses == 3
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        circuits = [_random(3, 10, seed=s) for s in range(3)]
+        for qc in circuits:
+            cache.plan_for(qc)
+        assert len(cache) == 2
+        cache.plan_for(circuits[0])  # evicted -> re-trace
+        assert cache.stats().misses == 4
+
+    def test_disabled_cache_builds_fresh(self):
+        cache = PlanCache(maxsize=8)
+        cache.enabled = False
+        qc = _random(3, 10, seed=0)
+        assert cache.plan_for(qc) is not cache.plan_for(qc)
+        assert len(cache) == 0
+
+    def test_thread_safety(self):
+        cache = PlanCache(maxsize=32)
+        circuits = [_random(4, 30, seed=s) for s in range(4)]
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    for qc in circuits:
+                        plan = cache.plan_for(qc)
+                        batch = np.zeros((1, 2, 2, 2, 2), dtype=complex)
+                        batch[(0,) * 5] = 1.0
+                        out = plan.execute(batch)
+                        assert abs(np.linalg.norm(out) - 1.0) < 1e-9
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        # every lookup after the (possibly racy) first build is a hit
+        assert stats.hits + stats.misses == 8 * 20 * 4
+        assert stats.misses <= 8 * len(circuits)
+
+    def test_global_cache_reused_across_engines(self):
+        cache = get_plan_cache()
+        cache.clear()
+        qc = _mixed_circuit()
+        run(qc, 100, method="statevector", seed=0)
+        before = cache.stats().misses
+        run(qc, 100, method="batched", seed=0)
+        run(qc, 100, method="trajectory", seed=0)
+        after = cache.stats()
+        assert after.misses == before  # zero re-traces on cache hits
+        assert after.hits >= 2
+
+    def test_compiled_streams_cached_on_plan(self):
+        plan = get_plan(_random(3, 20, seed=4))
+        a = plan.compiled(np.complex128)
+        b = plan.compiled(np.complex128)
+        assert a is b
+        c = plan.compiled(np.complex64)
+        assert c is not a
+
+
+class TestPaperBenchmarks:
+    """PR-3-style re-verification: pinned-seed counts are unchanged."""
+
+    @pytest.mark.parametrize("name", ["4mod5", "4gt11", "rd53"])
+    def test_benchmark_counts_identical(self, name):
+        qc = benchmark_circuit(name).copy().measure_all()
+        legacy = run(qc, 1000, seed=1234, plan=False)
+        fused = run(qc, 1000, seed=1234)
+        assert dict(fused) == dict(legacy)
+
+    def test_expected_output_dominates(self):
+        from repro.revlib.benchmarks import load_benchmark
+
+        record = load_benchmark("4mod5")
+        qc = record.circuit().copy().measure_all()
+        counts = run(qc, 200, seed=7)
+        assert counts.most_frequent() == record.expected_output()
+
+
+class TestApiKnobs:
+    def test_invalid_fuse_rejected(self):
+        with pytest.raises(ValueError, match="fusion"):
+            run(_mixed_circuit(), 10, fuse="max")
+
+    def test_legacy_signature_engines_still_dispatch(self):
+        # engines registered before the plan tier existed take no
+        # plan/fuse kwargs; default dispatch must not pass them
+        class LegacyEngine:
+            name = "legacy-sig"
+
+            def supports(self, circuit, noise_model=None):
+                return True
+
+            def run(self, circuit, shots, *, noise_model=None,
+                    seed=None, dtype=None):
+                from repro.simulator.counts import Counts
+
+                return Counts({"0": shots}, shots=shots)
+
+        register_engine(LegacyEngine)
+        try:
+            counts = run(QuantumCircuit(1), 10, method="legacy-sig")
+            assert dict(counts) == {"0": 10}
+        finally:
+            unregister_engine("legacy-sig")
+
+
+class TestKernelSatellites:
+    def test_identity_memo_frozen_matrix(self):
+        eye = np.eye(2, dtype=complex)
+        eye.setflags(write=False)
+        assert matrix_is_identity(eye)
+        assert matrix_is_identity(eye)  # memo path
+
+    def test_identity_memo_never_caches_writable(self):
+        mat = np.eye(2, dtype=complex)
+        assert matrix_is_identity(mat)
+        mat[0, 0] = 2.0  # mutate in place: verdict must not be stale
+        assert not matrix_is_identity(mat)
+
+    def test_sample_counts_skips_renorm_but_handles_drift(self):
+        state = Statevector(2)
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        state.evolve(qc)
+        rng = np.random.default_rng(3)
+        counts = state.sample_counts(500, rng)
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"00", "11"}
+        # non-unitary evolution (Kraus branch) drifts the norm; the
+        # tolerance gate must still renormalise
+        state.apply_matrix(np.array([[0.7, 0.0], [0.0, 0.7]]), [0])
+        drifted = state.sample_counts(500, np.random.default_rng(3))
+        assert sum(drifted.values()) == 500
