@@ -31,11 +31,11 @@ def _tvd_pair(name: str, iterations: int, shots: int):
 
 @pytest.mark.parametrize("name", _SMALL)
 def test_bench_figure4_small_circuits(benchmark, name):
-    # 4 pipeline iterations: with fewer, the mean obfuscated TVD of a
+    # 6 pipeline iterations: with fewer, the mean obfuscated TVD of a
     # 1-output-bit benchmark can lose to the restored TVD on an
     # unlucky insertion draw (the figure's shape is an average claim)
     obfuscated, restored = benchmark.pedantic(
-        _tvd_pair, args=(name, 4, 400), rounds=1, iterations=1
+        _tvd_pair, args=(name, 6, 400), rounds=1, iterations=1
     )
     assert max(restored) < 0.75
     assert sum(obfuscated) / len(obfuscated) > sum(restored) / len(restored)

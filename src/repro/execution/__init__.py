@@ -21,8 +21,15 @@ from .registry import (
     unregister_engine,
 )
 from .api import run, select_engine
+from .noise_plan import ChannelBinding, NoisePlan, build_noise_plan
 from .plan import ExecutionPlan, FUSION_LEVELS, build_plan
-from .plan_cache import PlanCache, get_plan, get_plan_cache
+from .plan_cache import (
+    PlanCache,
+    get_noise_plan,
+    get_noise_plan_cache,
+    get_plan,
+    get_plan_cache,
+)
 from . import engines as _builtin_engines  # noqa: F401  (registers engines)
 from .engines import (
     BatchedEngine,
@@ -32,14 +39,19 @@ from .engines import (
 )
 
 __all__ = [
+    "ChannelBinding",
     "Counts",
     "ExecutionPlan",
     "FUSION_LEVELS",
+    "NoisePlan",
     "PlanCache",
     "SimulationEngine",
     "available_engines",
+    "build_noise_plan",
     "build_plan",
     "get_engine",
+    "get_noise_plan",
+    "get_noise_plan_cache",
     "get_plan",
     "get_plan_cache",
     "register_engine",

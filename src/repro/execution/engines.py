@@ -80,7 +80,12 @@ class StatevectorEngine:
         dtype=None,
         plan: bool = True,
         fuse: str = "full",
+        trajectories: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> Counts:
+        # trajectories/chunk_size are accepted (callers thread the
+        # knobs through every engine) but inert: one evolution + one
+        # sampling, no trajectory ensemble
         _require_full_precision(self.name, dtype)
         if _is_noisy(noise_model):
             raise ValueError(
@@ -121,10 +126,17 @@ class TrajectoryEngine:
         dtype=None,
         plan: bool = True,
         fuse: str = "full",
+        trajectories: str = "batched",
+        chunk_size: Optional[int] = None,
     ) -> Counts:
         _require_full_precision(self.name, dtype)
         return TrajectorySimulator(
-            noise_model, seed, plan=plan, fuse=fuse
+            noise_model,
+            seed,
+            plan=plan,
+            fuse=fuse,
+            trajectories=trajectories,
+            chunk_size=chunk_size,
         ).run(circuit, shots)
 
 
@@ -156,7 +168,14 @@ class BatchedEngine:
         dtype=None,
         plan: bool = True,
         fuse: str = "full",
+        trajectories: str = "batched",
+        chunk_size: Optional[int] = None,
     ) -> Counts:
+        if trajectories == "legacy":
+            raise ValueError(
+                "the batched engine has no legacy per-shot path; use "
+                "method='trajectory' with trajectories='legacy'"
+            )
         if wants_reduced_precision(dtype) and not measures_are_terminal(
             circuit
         ):
@@ -172,6 +191,7 @@ class BatchedEngine:
             dtype=np.complex64 if dtype is None else np.dtype(dtype),
             plan=plan,
             fuse=fuse,
+            chunk_size=chunk_size,
         )
         return sim.run(circuit, shots)
 
@@ -204,7 +224,11 @@ class DensityEngine:
         dtype=None,
         plan: bool = True,
         fuse: str = "full",
+        trajectories: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> Counts:
+        # trajectories/chunk_size are inert: exact evolution has no
+        # trajectory ensemble
         _require_full_precision(self.name, dtype)
         return DensityMatrixSimulator(noise_model, plan=plan, fuse=fuse).run(
             circuit, shots, seed=seed

@@ -1,0 +1,445 @@
+"""Noise-bound lowering: compile a (circuit, noise model) pair once.
+
+The plan tier (:mod:`repro.execution.plan`) removed per-shot tracing
+from the *noiseless* path, but noisy trajectory simulation still walked
+the instruction list re-resolving ``NoiseModel.errors_for`` and
+re-classifying channels on every application.  This module lifts all of
+that to trace time:
+
+* every gate's bound channels are resolved to physical qubits once
+  (:class:`ChannelBinding`), classified once (unitary-only /
+  mixed-unitary / general Kraus), with branch matrices pre-scaled
+  (``K_i / sqrt(p_i)``), cumulative probability tables precomputed and
+  Gram matrices cached for the batched norm pass;
+* readout errors are bound per measured qubit, for mid-circuit measure
+  steps and for the terminal report entries alike;
+* the noiseless spans *between* channel anchors are fused with the
+  same passes the noiseless plans use (:func:`~repro.execution.plan.\
+lower_ops`), so a weakly-noisy circuit still gets 1q-run merging,
+  diagonal fusion and blocking inside each span;
+* single-operator channels are CPTP, hence unitary — they fold into
+  the surrounding span instead of anchoring a stochastic step.
+
+The result is a :class:`NoisePlan`: a flat step stream (span / channel
+/ measure) plus a random-site numbering that assigns every stochastic
+decision in the plan a fixed index.  The batched executor
+(:func:`repro.simulator.noisy.run_noise_plan`) spawns one seed per
+site, which is what makes its output independent of the chunk size.
+Plans are cached by ``structural hash x noise fingerprint x fusion``
+in :mod:`repro.execution.plan_cache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
+from ..simulator.kernels import matrix_is_identity
+from ..simulator.trajectory import measures_are_terminal
+from .plan import (
+    FUSION_LEVELS,
+    PlanOp,
+    TracedOp,
+    _is_diagonal,
+    lower_ops,
+)
+
+__all__ = ["ChannelBinding", "NoisePlan", "build_noise_plan"]
+
+
+def _monomial_decomposition(matrix: np.ndarray):
+    """``(rows, phases)`` when *matrix* is monomial, else ``None``.
+
+    A monomial matrix (exactly one non-zero entry per row and column —
+    X, CX, SWAP, CCX, Y, ...) maps each basis state to a single basis
+    state with a phase: applying it is ``2^k`` strided slice copies
+    instead of a dense contraction.  Detection is exact (``!= 0``):
+    gate constructors emit literal zeros, and fused products with
+    float dust simply stay on the dense route.
+    """
+    nonzero = matrix != 0
+    if not (nonzero.sum(axis=0) == 1).all():
+        return None
+    if not (nonzero.sum(axis=1) == 1).all():
+        return None
+    rows = nonzero.argmax(axis=0)  # column j -> its non-zero row
+    phases = matrix[rows, np.arange(matrix.shape[0])]
+    return rows, phases
+
+
+def _basis_selector(
+    index: int, qubits: Sequence[int], num_qubits: int
+) -> Tuple:
+    """Batch-tensor selector fixing *qubits* to the bits of *index*.
+
+    Axis 0 is the shot axis; qubit ``q`` lives on axis ``q + 1``.  Bit
+    ordering follows the gate-matrix convention: the first listed
+    qubit is the most significant bit of *index*.
+    """
+    sel: List = [slice(None)] * (num_qubits + 1)
+    k = len(qubits)
+    for t, qubit in enumerate(qubits):
+        sel[qubit + 1] = (index >> (k - 1 - t)) & 1
+    return tuple(sel)
+
+
+def _compile_span(
+    ops: Sequence[PlanOp], dtype: np.dtype, num_qubits: int
+) -> Tuple[Tuple, ...]:
+    """Lower a span's :class:`PlanOp` list for the chunked executor.
+
+    Emits one of four op forms, chosen by matrix *structure* only —
+    never by batch size — so a fixed seed gives bit-identical counts
+    for every chunk width:
+
+    * ``("diag", tensor)`` — broadcast in-place multiply;
+    * ``("perm", ((out_sel, in_sel, phase), ...))`` — monomial matrix
+      as slice copies (phase ``None`` means exactly 1);
+    * ``("mul1", matrix, qubit)`` — dense 1q gate as four elementwise
+      axpy ops on the two sub-lattices (no transpose copies);
+    * ``("gen", matrix, qubits)`` — dense multi-qubit fallback through
+      :func:`~repro.simulator.kernels.apply_matrix_batch`.
+    """
+    compiled: List[Tuple] = []
+    for op in ops:
+        if op.diag is not None:
+            # diagonal PlanOps store the smallest qubit as the most
+            # significant bit, which is exactly the broadcast layout
+            shape = [1] * (num_qubits + 1)
+            for qubit in op.qubits:
+                shape[qubit + 1] = 2
+            diag = op.diag.astype(dtype, copy=False)
+            compiled.append(
+                ("diag", np.ascontiguousarray(diag).reshape(shape))
+            )
+            continue
+        matrix = np.ascontiguousarray(op.matrix.astype(dtype))
+        monomial = _monomial_decomposition(matrix)
+        if monomial is not None:
+            rows, phases = monomial
+            moves = tuple(
+                (
+                    _basis_selector(int(rows[j]), op.qubits, num_qubits),
+                    _basis_selector(j, op.qubits, num_qubits),
+                    None if phases[j] == 1 else dtype.type(phases[j]),
+                )
+                for j in range(matrix.shape[0])
+            )
+            compiled.append(("perm", moves))
+        elif len(op.qubits) == 1:
+            compiled.append(("mul1", matrix, op.qubits[0]))
+        else:
+            compiled.append(("gen", matrix, op.qubits))
+    return tuple(compiled)
+
+
+class _SpanGate:
+    """A folded unitary channel operator, span-fusable like a gate."""
+
+    __slots__ = ("matrix", "qubits", "identity", "diagonal")
+
+    def __init__(self, matrix: np.ndarray, qubits: Tuple[int, ...]) -> None:
+        self.matrix = matrix
+        self.qubits = qubits
+        self.identity = matrix_is_identity(matrix)
+        self.diagonal = False if self.identity else _is_diagonal(matrix)
+
+
+class ChannelBinding:
+    """A channel resolved to physical qubits, classified at trace time.
+
+    ``kind`` is ``"mixed"`` (every Kraus operator is ``sqrt(p) x
+    unitary`` — branch probabilities are state-independent) or
+    ``"kraus"`` (branch probabilities are ``Tr(K^† K rho)``).  All the
+    per-application work of the legacy simulators — cumulative tables,
+    ``op / sqrt(p)`` scaling, Gram matrices, no-op branch flags — is
+    resolved here, once per plan.
+    """
+
+    __slots__ = (
+        "channel",
+        "qubits",
+        "kind",
+        "operators",
+        "cumulative",
+        "scaled_ops",
+        "identity_flags",
+        "grams",
+    )
+
+    def __init__(self, channel, qubits: Sequence[int]) -> None:
+        self.channel = channel
+        self.qubits = tuple(qubits)
+        operators = tuple(
+            np.asarray(op) for op in channel.kraus_operators
+        )
+        self.operators = operators
+        mixed = getattr(channel, "mixed_unitary_probs", None)
+        if mixed is not None:
+            self.kind = "mixed"
+            cumulative = getattr(channel, "mixed_unitary_cumulative", None)
+            if cumulative is None:
+                cumulative = np.cumsum(mixed)
+            self.cumulative = np.asarray(cumulative)
+            scaled = getattr(channel, "mixed_unitary_scaled", None)
+            if scaled is None:
+                scaled = tuple(
+                    op / np.sqrt(p) if p > 0 else None
+                    for op, p in zip(operators, mixed)
+                )
+            self.scaled_ops = tuple(scaled)
+            self.grams = None
+        else:
+            self.kind = "kraus"
+            self.cumulative = None
+            self.scaled_ops = None
+            grams = getattr(channel, "kraus_grams", None)
+            if grams is None:
+                grams = tuple(op.conj().T @ op for op in operators)
+            self.grams = tuple(grams)
+        flags = getattr(channel, "scalar_identity_flags", None)
+        if flags is None:
+            dim = operators[0].shape[0]
+            flags = tuple(
+                bool(
+                    abs(op[0, 0]) > 1e-12
+                    and np.allclose(
+                        op, op[0, 0] * np.eye(dim), atol=1e-12
+                    )
+                )
+                for op in operators
+            )
+        self.identity_flags = tuple(flags)
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.operators)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChannelBinding({self.kind!r}, qubits={self.qubits}, "
+            f"branches={self.num_branches})"
+        )
+
+
+class NoisePlan:
+    """A traced (circuit, noise model) pair, ready for batched execution.
+
+    ``steps`` is a flat tuple of
+
+    * ``("span", (PlanOp, ...))`` — fused noiseless ops;
+    * ``("channel", ChannelBinding, site)`` — one stochastic channel;
+    * ``("measure", qubit, clbit, site, readout, readout_site)`` —
+      a mid-circuit measurement with its bound readout error (or
+      ``None``), only present on non-terminal plans.
+
+    Terminal plans instead carry :attr:`sample_site` (the joint
+    final-state draw) and :attr:`entries` — ``(qubit, clbit, readout,
+    readout_site)`` report tuples in program order.  ``site`` indices
+    number every stochastic decision ``0..num_sites-1`` in program
+    order; the executor derives one independent seed stream per site.
+
+    Immutable once built; the per-dtype compiled span streams are
+    lazily built under a lock, like :class:`ExecutionPlan`.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_qubits: int,
+        width: int,
+        fusion: str,
+        terminal: bool,
+        steps: Sequence[Tuple],
+        entries: Sequence[Tuple],
+        sample_site: Optional[int],
+        num_sites: int,
+        source_gates: int,
+        trace_seconds: float,
+    ) -> None:
+        self.num_qubits = num_qubits
+        self.width = width
+        self.fusion = fusion
+        self.terminal = terminal
+        self.steps: Tuple[Tuple, ...] = tuple(steps)
+        self.entries: Tuple[Tuple, ...] = tuple(entries)
+        self.sample_site = sample_site
+        self.num_sites = num_sites
+        self.source_gates = source_gates
+        self.trace_seconds = trace_seconds
+        self._compiled: Dict[np.dtype, List[Tuple]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def num_channels(self) -> int:
+        return sum(1 for step in self.steps if step[0] == "channel")
+
+    @property
+    def num_spans(self) -> int:
+        return sum(1 for step in self.steps if step[0] == "span")
+
+    def compiled_steps(self, dtype) -> List[Tuple]:
+        """The step stream with spans lowered to layout-bound op lists.
+
+        Cached per dtype; channel and measure steps pass through
+        unchanged (their matrices are cast inside the batch kernels,
+        which memoize nothing state-dependent).  Span op routes are
+        chosen by matrix structure only — never by batch size — so
+        counts stay bit-identical across chunk widths.
+        """
+        dtype = np.dtype(dtype)
+        cached = self._compiled.get(dtype)
+        if cached is not None:
+            return cached
+        compiled: List[Tuple] = []
+        for step in self.steps:
+            if step[0] == "span":
+                compiled.append(
+                    ("span", _compile_span(step[1], dtype, self.num_qubits))
+                )
+            else:
+                compiled.append(step)
+        with self._lock:
+            return self._compiled.setdefault(dtype, compiled)
+
+    def __repr__(self) -> str:
+        return (
+            f"NoisePlan(qubits={self.num_qubits}, fusion={self.fusion!r}, "
+            f"spans={self.num_spans}, channels={self.num_channels}, "
+            f"terminal={self.terminal}, sites={self.num_sites})"
+        )
+
+
+def build_noise_plan(
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel] = None,
+    fusion: str = "full",
+) -> NoisePlan:
+    """Trace *circuit* against *noise_model* into a :class:`NoisePlan`.
+
+    Channels anchor to their gate in program order; identity gates are
+    dropped from the spans but their channels are kept (a model may
+    bind errors to ``id``).  A trivial (or absent) model produces a
+    plan whose steps are pure spans — the executor then degenerates to
+    the noiseless batched evolution.
+    """
+    if fusion not in FUSION_LEVELS:
+        raise ValueError(
+            f"unknown fusion level {fusion!r}; expected one of "
+            f"{', '.join(FUSION_LEVELS)}"
+        )
+    t0 = time.perf_counter()
+    noisy = noise_model is not None and not noise_model.is_trivial()
+    terminal = measures_are_terminal(circuit)
+    steps: List[Tuple] = []
+    span: List = []
+    measured: List[Tuple[int, int]] = []
+    site = 0
+    source_gates = 0
+
+    def _readout(qubit: int):
+        if noise_model is None:
+            return None
+        return noise_model.readout_error(qubit)
+
+    def _flush_span() -> None:
+        if span:
+            ops = lower_ops(span, fusion)
+            if ops:
+                steps.append(("span", tuple(ops)))
+            span.clear()
+
+    for inst in circuit:
+        if inst.is_barrier:
+            continue
+        if inst.is_measure:
+            qubit, clbit = inst.qubits[0], inst.clbits[0]
+            measured.append((qubit, clbit))
+            if not terminal:
+                _flush_span()
+                readout = _readout(qubit)
+                measure_site = site
+                site += 1
+                readout_site = None
+                if readout is not None:
+                    readout_site = site
+                    site += 1
+                steps.append(
+                    (
+                        "measure",
+                        qubit,
+                        clbit,
+                        measure_site,
+                        readout,
+                        readout_site,
+                    )
+                )
+            continue
+        op = TracedOp(inst)
+        dim = 1 << len(op.qubits)
+        if op.matrix.shape != (dim, dim):
+            raise ValueError(
+                f"gate {inst.name!r} matrix shape {op.matrix.shape} does "
+                f"not match its {len(op.qubits)} qubit(s)"
+            )
+        source_gates += 1
+        if not op.identity:
+            span.append(op)
+        if not noisy:
+            continue
+        for bound in noise_model.errors_for(inst):
+            qubits = bound.resolve(inst)
+            channel = bound.channel
+            if len(channel.kraus_operators) == 1:
+                # single Kraus + CPTP => unitary: no randomness, so it
+                # joins the span (and fuses) instead of anchoring
+                span.append(
+                    _SpanGate(
+                        np.asarray(channel.kraus_operators[0]), qubits
+                    )
+                )
+                continue
+            _flush_span()
+            steps.append(("channel", ChannelBinding(channel, qubits), site))
+            site += 1
+    _flush_span()
+
+    entries: List[Tuple] = []
+    sample_site: Optional[int] = None
+    if terminal:
+        sample_site = site
+        site += 1
+        if measured:
+            width = max(circuit.num_clbits, 1)
+            report = measured
+        else:
+            # measure-all semantics for unmeasured circuits
+            width = circuit.num_qubits
+            report = [(q, q) for q in range(circuit.num_qubits)]
+        for qubit, clbit in report:
+            readout = _readout(qubit)
+            if readout is not None:
+                entries.append((qubit, clbit, readout, site))
+                site += 1
+            else:
+                entries.append((qubit, clbit, None, None))
+    else:
+        width = max(circuit.num_clbits, 1)
+
+    return NoisePlan(
+        num_qubits=circuit.num_qubits,
+        width=width,
+        fusion=fusion,
+        terminal=terminal,
+        steps=steps,
+        entries=entries,
+        sample_site=sample_site,
+        num_sites=site,
+        source_gates=source_gates,
+        trace_seconds=time.perf_counter() - t0,
+    )

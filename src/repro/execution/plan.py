@@ -68,6 +68,7 @@ __all__ = [
     "PlanOp",
     "TracedOp",
     "build_plan",
+    "lower_ops",
     "lower_trace",
     "trace_circuit",
 ]
@@ -364,33 +365,44 @@ def _fuse_blocks(ops: List[PlanOp]) -> List[PlanOp]:
     return out
 
 
-def lower_trace(trace: Trace, fusion: str = "full") -> List[PlanOp]:
-    """Stage 2: traced ops -> fused :class:`PlanOp` stream.
+def lower_ops(ops: Sequence[TracedOp], fusion: str) -> List[PlanOp]:
+    """Lower one span of traced ops into a fused :class:`PlanOp` stream.
 
-    Identity gates are dropped at every level (the legacy kernels skip
-    them too, so even ``"none"`` stays bit-identical).
+    The span-level core of :func:`lower_trace`, shared with the
+    noise-bound lowering (:mod:`repro.execution.noise_plan`), which
+    fuses the noiseless spans *between* channel anchors with exactly
+    these passes.  Accepts any objects exposing the
+    ``matrix``/``qubits``/``identity``/``diagonal`` attributes of
+    :class:`TracedOp`.  Identity gates are dropped at every level (the
+    legacy kernels skip them too, so even ``"none"`` stays
+    bit-identical).
     """
-    if fusion not in FUSION_LEVELS:
-        raise ValueError(
-            f"unknown fusion level {fusion!r}; expected one of "
-            f"{', '.join(FUSION_LEVELS)}"
-        )
-    live = [op for op in trace.ops if not op.identity]
+    live = [op for op in ops if not op.identity]
     if fusion == "none":
         return [
             PlanOp("matrix", op.qubits, matrix=op.matrix) for op in live
         ]
-    ops = [
+    lowered = [
         _gate_diag(op.matrix, op.qubits)
         if op.diagonal
         else PlanOp("matrix", op.qubits, matrix=op.matrix)
         for op in live
     ]
-    ops = _fuse_1q_runs(ops)
+    lowered = _fuse_1q_runs(lowered)
     if fusion == "full":
-        ops = _fuse_diagonal_runs(ops)
-        ops = _fuse_blocks(ops)
-    return ops
+        lowered = _fuse_diagonal_runs(lowered)
+        lowered = _fuse_blocks(lowered)
+    return lowered
+
+
+def lower_trace(trace: Trace, fusion: str = "full") -> List[PlanOp]:
+    """Stage 2: traced ops -> fused :class:`PlanOp` stream."""
+    if fusion not in FUSION_LEVELS:
+        raise ValueError(
+            f"unknown fusion level {fusion!r}; expected one of "
+            f"{', '.join(FUSION_LEVELS)}"
+        )
+    return lower_ops(trace.ops, fusion)
 
 
 # ---------------------------------------------------------------------------

@@ -22,12 +22,16 @@ from typing import Optional
 
 from .._lru import CacheStats, LRUCache
 from ..circuits.circuit import QuantumCircuit
+from ..noise.model import NoiseModel
 from ..transpiler.cache import circuit_structural_hash
+from .noise_plan import NoisePlan, build_noise_plan
 from .plan import ExecutionPlan, FUSION_LEVELS, build_plan
 
 __all__ = [
     "CacheStats",
     "PlanCache",
+    "get_noise_plan",
+    "get_noise_plan_cache",
     "get_plan",
     "get_plan_cache",
 ]
@@ -63,6 +67,38 @@ class PlanCache(LRUCache):
             self.store(key, plan)
         return plan
 
+    def noise_plan_for(
+        self,
+        circuit: QuantumCircuit,
+        noise_model: Optional[NoiseModel] = None,
+        fusion: str = "full",
+    ) -> NoisePlan:
+        """The cached noise-bound plan for (*circuit*, *noise_model*).
+
+        Keyed by the circuit's structural hash x the model's content
+        fingerprint x fusion level, so two different models on one
+        circuit never collide and mutating a model (through its
+        ``add_*`` methods) re-keys it.  ``None`` (and trivial models,
+        which fingerprint identically regardless of name) gets a
+        noiseless key slot of its own.
+        """
+        if fusion not in FUSION_LEVELS:
+            raise ValueError(
+                f"unknown fusion level {fusion!r}; expected one of "
+                f"{', '.join(FUSION_LEVELS)}"
+            )
+        if not self.enabled:
+            return build_noise_plan(circuit, noise_model, fusion)
+        fingerprint = (
+            noise_model.fingerprint() if noise_model is not None else None
+        )
+        key = (circuit_structural_hash(circuit), fingerprint, fusion)
+        plan = self.lookup(key)
+        if plan is None:
+            plan = build_noise_plan(circuit, noise_model, fusion)
+            self.store(key, plan)
+        return plan
+
     def __repr__(self) -> str:
         s = self.stats()
         return (
@@ -73,10 +109,20 @@ class PlanCache(LRUCache):
 
 _GLOBAL_CACHE = PlanCache()
 
+# noise-bound plans live in their own cache instance: their entries are
+# keyed (and sized) differently, and the bench smoke asserts "zero
+# re-traces" against *this* cache's miss counter specifically
+_GLOBAL_NOISE_CACHE = PlanCache()
+
 
 def get_plan_cache() -> PlanCache:
     """The per-process cache every engine consults."""
     return _GLOBAL_CACHE
+
+
+def get_noise_plan_cache() -> PlanCache:
+    """The per-process cache of noise-bound plans."""
+    return _GLOBAL_NOISE_CACHE
 
 
 def get_plan(
@@ -87,3 +133,16 @@ def get_plan(
 ) -> ExecutionPlan:
     """Cached trace + lower of *circuit* at the given fusion level."""
     return (cache or _GLOBAL_CACHE).plan_for(circuit, fusion)
+
+
+def get_noise_plan(
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel] = None,
+    fusion: str = "full",
+    *,
+    cache: Optional[PlanCache] = None,
+) -> NoisePlan:
+    """Cached noise-bound trace of (*circuit*, *noise_model*)."""
+    return (cache or _GLOBAL_NOISE_CACHE).noise_plan_for(
+        circuit, noise_model, fusion
+    )

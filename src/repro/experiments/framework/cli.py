@@ -95,6 +95,16 @@ def _add_run_flags(parser: argparse.ArgumentParser) -> None:
         help="recompile every cell instead of reusing compiled circuits",
     )
     parser.add_argument(
+        "--trajectories", choices=("batched", "legacy"), default=None,
+        help="noisy trajectory-ensemble implementation (default: the "
+        "chunked batched executor)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="shots per tensor chunk in the batched ensemble "
+        "(results are chunk-size independent)",
+    )
+    parser.add_argument(
         "--shard", default=None, metavar="I/N",
         help="run only cells with index %% N == I (for multi-machine runs)",
     )
@@ -135,6 +145,8 @@ def _cmd_run(args: argparse.Namespace, resume: bool = False) -> int:
         jobs=args.jobs,
         split_jobs=args.split_jobs,
         transpile_cache=not args.no_transpile_cache,
+        trajectories=args.trajectories,
+        chunk_size=args.chunk_size,
         shard=parse_shard(args.shard),
         resume=resume,
         store=store,
@@ -149,7 +161,11 @@ def _cmd_run(args: argparse.Namespace, resume: bool = False) -> int:
     if not args.quiet and report.computed:
         # compiled-execution tier reuse across the grid's simulations
         # (per-process; parallel workers warm their own caches)
-        from ...execution.plan_cache import get_plan_cache
+        from ...execution.plan_cache import (
+            get_noise_plan_cache,
+            get_plan_cache,
+        )
+        from ...simulator.noisy import trajectory_mode_counts
 
         stats = get_plan_cache().stats()
         if stats.hits or stats.misses:
@@ -157,6 +173,19 @@ def _cmd_run(args: argparse.Namespace, resume: bool = False) -> int:
                 f"plan cache: {stats.size}/{stats.maxsize} entries, "
                 f"{stats.hits} hit(s), {stats.misses} trace(s)"
             )
+        noise_stats = get_noise_plan_cache().stats()
+        if noise_stats.hits or noise_stats.misses:
+            print(
+                f"noise-plan cache: {noise_stats.size}/"
+                f"{noise_stats.maxsize} entries, {noise_stats.hits} "
+                f"hit(s), {noise_stats.misses} trace(s)"
+            )
+        modes = trajectory_mode_counts()
+        if any(modes.values()):
+            rendered = ", ".join(
+                f"{name}={count}" for name, count in sorted(modes.items())
+            )
+            print(f"trajectory ensembles: {rendered}")
     if report.complete:
         print(report.render())
         return 0

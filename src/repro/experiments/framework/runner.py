@@ -93,6 +93,8 @@ def run_experiment(
     jobs: int = 1,
     split_jobs: int = 1,
     transpile_cache: bool = True,
+    trajectories: Optional[str] = None,
+    chunk_size: Optional[int] = None,
     shard: Optional[Tuple[int, int]] = None,
     resume: bool = False,
     store: Optional[ResultStore] = None,
@@ -111,7 +113,10 @@ def run_experiment(
     config = spec.config(overrides)
     cfg_hash = config_hash(config)
     options = ExecOptions(
-        split_jobs=split_jobs, transpile_cache=transpile_cache
+        split_jobs=split_jobs,
+        transpile_cache=transpile_cache,
+        trajectories=trajectories,
+        chunk_size=chunk_size,
     )
 
     cells = spec.make_cells(config)

@@ -62,11 +62,18 @@ class ExecOptions:
 
     *split_jobs* pipelines each evaluation's split compilation on a
     worker thread; *transpile_cache* toggles compile reuse.  Specs that
-    do not transpile simply ignore them.
+    do not transpile simply ignore them.  *trajectories* selects the
+    noisy trajectory-ensemble implementation (``None`` = engine
+    default, ``"legacy"`` = per-shot reference loop) and *chunk_size*
+    caps the batched executor's shots-per-chunk — statistically
+    equivalent knobs for the simulation tier (see
+    :func:`repro.execution.run`).
     """
 
     split_jobs: int = 1
     transpile_cache: bool = True
+    trajectories: Optional[str] = None
+    chunk_size: Optional[int] = None
 
 
 TaskFn = Callable[

@@ -63,6 +63,11 @@ class QuantumChannel:
         self.num_qubits = num_qubits
         self.name = name
         self._mixed_unitary_probs = self._detect_mixed_unitary()
+        # lazily-built per-channel tables shared by every simulator
+        # bound to this channel (see the properties below)
+        self._mixed_unitary_cumulative: Optional[np.ndarray] = None
+        self._mixed_unitary_scaled: Optional[tuple] = None
+        self._kraus_grams: Optional[tuple] = None
         dim = 2 ** self.num_qubits
         # per-operator "proportional to identity" flags: lets simulators
         # skip whole-batch applications of no-op branches
@@ -103,6 +108,53 @@ class QuantumChannel:
     def mixed_unitary_probs(self) -> Optional[List[float]]:
         """Branch probabilities for mixed-unitary channels, else None."""
         return self._mixed_unitary_probs
+
+    @property
+    def mixed_unitary_cumulative(self) -> Optional[np.ndarray]:
+        """Cumulative branch probabilities for mixed-unitary channels.
+
+        Computed once per channel so trajectory simulators stop calling
+        ``np.cumsum`` for every shot at every channel anchor.
+        """
+        if self._mixed_unitary_probs is None:
+            return None
+        if self._mixed_unitary_cumulative is None:
+            self._mixed_unitary_cumulative = np.cumsum(
+                self._mixed_unitary_probs
+            )
+        return self._mixed_unitary_cumulative
+
+    @property
+    def mixed_unitary_scaled(self) -> Optional[tuple]:
+        """Pre-scaled branch unitaries ``K_i / sqrt(p_i)`` (None at p=0)."""
+        if self._mixed_unitary_probs is None:
+            return None
+        if self._mixed_unitary_scaled is None:
+            scaled = []
+            for op, weight in zip(
+                self.kraus_operators, self._mixed_unitary_probs
+            ):
+                scaled.append(
+                    op / np.sqrt(weight) if weight > 0 else None
+                )
+            self._mixed_unitary_scaled = tuple(scaled)
+        return self._mixed_unitary_scaled
+
+    @property
+    def kraus_grams(self) -> tuple:
+        """Per-operator Gram matrices ``K_i^† K_i``.
+
+        General-Kraus branch probabilities on a state are
+        ``Tr(K^† K rho)``; caching the Grams lets batched simulators
+        evaluate all branches with one einsum against the reduced
+        density matrix.
+        """
+        if self._kraus_grams is None:
+            self._kraus_grams = tuple(
+                np.ascontiguousarray(op.conj().T @ op)
+                for op in self.kraus_operators
+            )
+        return self._kraus_grams
 
     def is_unital(self) -> bool:
         """True when the channel maps identity to identity."""

@@ -9,7 +9,10 @@ applying each gate.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..circuits.instruction import Instruction
 from .channels import QuantumChannel, ReadoutError
@@ -57,6 +60,17 @@ class NoiseModel:
             ],
         ] = {}
         self._readout_errors: Dict[int, ReadoutError] = {}
+        # (gate name, qubit tuple) -> resolved bound errors; trajectory
+        # simulators call errors_for once per instruction per shot, so
+        # memoizing the match turns per-shot work into a dict lookup
+        self._errors_memo: Dict[
+            Tuple[str, Tuple[int, ...]], List[BoundError]
+        ] = {}
+        self._fingerprint: Optional[str] = None
+
+    def _invalidate(self) -> None:
+        self._errors_memo.clear()
+        self._fingerprint = None
 
     # ------------------------------------------------------------------
     # construction
@@ -69,6 +83,7 @@ class NoiseModel:
             self._gate_errors.setdefault(name, []).append(
                 (None, channel, None)
             )
+        self._invalidate()
         return self
 
     def add_quantum_error(
@@ -95,12 +110,14 @@ class NoiseModel:
             self._gate_errors.setdefault(name, []).append(
                 (key, channel, slot_key)
             )
+        self._invalidate()
         return self
 
     def add_readout_error(
         self, error: ReadoutError, qubit: int
     ) -> "NoiseModel":
         self._readout_errors[int(qubit)] = error
+        self._invalidate()
         return self
 
     # ------------------------------------------------------------------
@@ -118,6 +135,10 @@ class NoiseModel:
         gate is applied to every qubit of the gate (the convention used
         when building backend noise from per-qubit calibration).
         """
+        memo_key = (instruction.name, instruction.qubits)
+        cached = self._errors_memo.get(memo_key)
+        if cached is not None:
+            return cached
         entries = self._gate_errors.get(instruction.name, [])
         bound: List[BoundError] = []
         for qubits, channel, slots in entries:
@@ -139,7 +160,39 @@ class NoiseModel:
                     f"cannot bind {arity}-qubit channel to "
                     f"{width}-qubit gate {instruction.name!r}"
                 )
+        self._errors_memo[memo_key] = bound
         return bound
+
+    def fingerprint(self) -> str:
+        """Content hash of the model, stable across processes.
+
+        Keys noise-bound plan caches: two models with the same bindings
+        and Kraus data share a fingerprint regardless of identity or
+        insertion order of unrelated gates; any mutation through the
+        ``add_*`` methods invalidates the cached value.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        digest = hashlib.blake2b(digest_size=16)
+        for name in sorted(self._gate_errors):
+            digest.update(b"G")
+            digest.update(name.encode())
+            for qubits, channel, slots in self._gate_errors[name]:
+                digest.update(repr(qubits).encode())
+                digest.update(repr(slots).encode())
+                digest.update(channel.num_qubits.to_bytes(2, "little"))
+                for op in channel.kraus_operators:
+                    digest.update(
+                        np.ascontiguousarray(op, dtype=complex).tobytes()
+                    )
+        for qubit in sorted(self._readout_errors):
+            error = self._readout_errors[qubit]
+            digest.update(b"R")
+            digest.update(qubit.to_bytes(4, "little", signed=True))
+            digest.update(repr(error.prob_1_given_0).encode())
+            digest.update(repr(error.prob_0_given_1).encode())
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def readout_error(self, qubit: int) -> Optional[ReadoutError]:
         return self._readout_errors.get(int(qubit))

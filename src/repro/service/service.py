@@ -336,7 +336,11 @@ class JobService:
 
     def stats(self) -> Dict[str, Any]:
         """Queue, worker, coalescing and cache counters."""
-        from ..execution.plan_cache import get_plan_cache
+        from ..execution.plan_cache import (
+            get_noise_plan_cache,
+            get_plan_cache,
+        )
+        from ..simulator.noisy import trajectory_mode_counts
 
         with self._mutex:
             states: Dict[str, int] = {s.value: 0 for s in JobState}
@@ -346,6 +350,7 @@ class JobService:
                 cached_hits += job.cached
         cache_stats = self.cache.stats() if self.cache is not None else None
         plan_stats = get_plan_cache().stats()
+        noise_plan_stats = get_noise_plan_cache().stats()
         return {
             "jobs": states,
             "total_jobs": sum(states.values()),
@@ -370,6 +375,16 @@ class JobService:
                 "size": plan_stats.size,
                 "maxsize": plan_stats.maxsize,
             },
+            # noise-bound plans (repro.execution.noise_plan): misses
+            # are (circuit, noise model) traces, hits are reuses
+            "noise_plan_cache": {
+                "hits": noise_plan_stats.hits,
+                "misses": noise_plan_stats.misses,
+                "size": noise_plan_stats.size,
+                "maxsize": noise_plan_stats.maxsize,
+            },
+            # trajectory-ensemble runs per implementation
+            "trajectories": trajectory_mode_counts(),
         }
 
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ class BatchedTrajectorySimulator:
         *,
         plan: bool = True,
         fuse: str = "full",
+        chunk_size: Optional[int] = None,
     ) -> None:
         """*dtype* defaults to ``complex64``: the kernels are memory
         bound, so single precision halves the runtime, and its ~1e-7
@@ -54,13 +55,19 @@ class BatchedTrajectorySimulator:
 
         *plan*/*fuse* steer execution through the compiled-plan tier
         (see :mod:`repro.execution.plan`).  Noiseless runs execute the
-        fused op stream; noisy runs execute the traced per-instruction
-        stream (noise channels anchor to individual gates, so no
-        cross-gate fusion) but still skip re-classification."""
+        fused op stream; noisy runs execute a cached noise-bound plan
+        (:mod:`repro.execution.noise_plan`) through the chunked
+        ensemble executor — channels resolved and classified at trace
+        time, the noiseless spans between anchors fused.  *chunk_size*
+        caps how many shots evolve per tensor (default: whole batch,
+        memory-capped)."""
+        if chunk_size is not None and int(chunk_size) <= 0:
+            raise ValueError("chunk_size must be positive")
         self.noise_model = noise_model
         self.dtype = np.dtype(dtype)
         self.plan = plan
         self.fuse = fuse
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         if isinstance(seed, np.random.Generator):
             self._rng = seed
         else:
@@ -71,8 +78,16 @@ class BatchedTrajectorySimulator:
         if shots <= 0:
             raise ValueError("shots must be positive")
         if not measures_are_terminal(circuit):
-            fallback = TrajectorySimulator(self.noise_model, self._rng)
+            fallback = TrajectorySimulator(
+                self.noise_model,
+                self._rng,
+                plan=self.plan,
+                fuse=self.fuse,
+                chunk_size=self.chunk_size,
+            )
             return fallback.run(circuit, shots)
+        if self.noise_model is not None and not self.noise_model.is_trivial():
+            return self._run_noise_plan(circuit, shots)
         n = circuit.num_qubits
         batch = np.zeros((shots,) + (2,) * n, dtype=self.dtype)
         batch[(slice(None),) + (0,) * n] = 1.0
@@ -83,27 +98,7 @@ class BatchedTrajectorySimulator:
 
             compiled = get_plan(circuit, self.fuse)
             measured = list(compiled.measured)
-            if self.noise_model is None:
-                batch = compiled.execute(batch)
-            else:
-                # noise channels anchor to individual instructions
-                # (identity gates included — the model may bind errors
-                # to them), so execute the traced source stream;
-                # identity gate applications are skipped, which the
-                # legacy kernel did too (after re-deriving the flag)
-                for op in compiled.source_ops:
-                    if not op.identity:
-                        batch = apply_matrix_batch(
-                            batch, op.matrix, op.qubits
-                        )
-                    for bound in self.noise_model.errors_for(
-                        op.instruction
-                    ):
-                        batch = self._apply_channel_batch(
-                            batch,
-                            bound.channel,
-                            bound.resolve(op.instruction),
-                        )
+            batch = compiled.execute(batch)
         else:
             measured = []
             for inst in circuit:
@@ -115,14 +110,32 @@ class BatchedTrajectorySimulator:
                 batch = apply_matrix_batch(
                     batch, inst.operation.matrix, inst.qubits
                 )
-                if self.noise_model is not None:
-                    for bound in self.noise_model.errors_for(inst):
-                        batch = self._apply_channel_batch(
-                            batch, bound.channel, bound.resolve(inst)
-                        )
         outcomes = self._sample_outcomes(batch, n)
         outcomes = self._apply_readout(outcomes, n)
         return self._histogram(outcomes, measured, circuit, n, shots)
+
+    # ------------------------------------------------------------------
+    def _run_noise_plan(self, circuit: QuantumCircuit, shots: int) -> Counts:
+        """Noisy terminal run through the chunked plan executor."""
+        from ..execution.noise_plan import build_noise_plan
+        from ..execution.plan_cache import get_noise_plan
+        from .noisy import record_trajectory_mode, run_noise_plan
+
+        if self.plan:
+            noise_plan = get_noise_plan(circuit, self.noise_model, self.fuse)
+        else:
+            noise_plan = build_noise_plan(
+                circuit, self.noise_model, self.fuse
+            )
+        record_trajectory_mode("batched")
+        entropy = int(self._rng.integers(0, 2 ** 63))
+        return run_noise_plan(
+            noise_plan,
+            shots,
+            entropy=entropy,
+            dtype=self.dtype,
+            chunk_size=self.chunk_size,
+        )
 
     # ------------------------------------------------------------------
     def _apply_channel_batch(

@@ -1,0 +1,305 @@
+"""Chunked batched executor for noise-bound plans.
+
+Runs a :class:`~repro.execution.noise_plan.NoisePlan` for ``shots``
+trajectories, evolving the shots in chunks of ``W`` as one
+``(W, 2, ..., 2)`` tensor:
+
+* fused noiseless spans execute through span programs compiled for the
+  chunk layout: diagonals are one broadcast in-place multiply, monomial
+  gates (X, CX, SWAP, CCX, ...) are strided slice copies, dense 1q
+  gates are four elementwise axpy passes over the two sub-lattices —
+  none of which pays the transpose-copy sandwich of the GEMM route;
+* mixed-unitary channels draw all branch indices of a chunk with one
+  ``searchsorted`` against the precomputed cumulative table, then apply
+  each distinct branch matrix to its grouped sub-batch (no-op branches
+  skipped via the channel's identity flags);
+* general Kraus channels evaluate every branch norm on the whole chunk
+  via the cached Gram matrices and one reduced-density pass, sample,
+  then apply each chosen branch with the precomputed renormalisation;
+* measurements collapse the chunk with vectorised probability gathers;
+  terminal measurement is one joint sample of the final distribution
+  (deferred-measurement equivalence: nothing touches a terminally
+  measured qubit afterwards, so the statistics are identical).
+
+Determinism
+-----------
+Randomness is drawn per *site*, not per chunk: the executor spawns one
+``SeedSequence`` child per stochastic site of the plan (every channel
+anchor, measurement and readout entry) and pre-draws that site's full
+``(shots,)`` uniform array; a chunk consumes ``[lo:hi)`` slices.  The
+draws are therefore exactly independent of the chunk size.  Span op
+routes are chosen by matrix structure, never by batch size, and all of
+them are elementwise or slice-wise — so span arithmetic is bit-exact
+across chunk widths too.  The only size-dependent arithmetic left is
+the kernel route inside channel-branch applications: above the GEMM
+crossover the BLAS blocking is equal only to ~1 ulp, so a count can
+differ across chunk sizes iff a *later* draw lands within ~1e-16 of a
+branch boundary.  Below that crossover ``chunk_size=1`` and
+``chunk_size=64`` are bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .counts import Counts, counts_from_outcomes
+from .kernels import apply_matrix_batch
+
+__all__ = [
+    "default_chunk_size",
+    "run_noise_plan",
+    "record_trajectory_mode",
+    "trajectory_mode_counts",
+    "reset_trajectory_mode_counts",
+]
+
+# how many trajectory-ensemble runs went through each implementation,
+# surfaced by the service /stats endpoint and the experiment-runner
+# summary next to the plan-cache stats
+_MODE_COUNTS: Dict[str, int] = {"batched": 0, "legacy": 0}
+_MODE_LOCK = threading.Lock()
+
+
+def record_trajectory_mode(mode: str) -> None:
+    """Count one trajectory-ensemble run through *mode*."""
+    with _MODE_LOCK:
+        _MODE_COUNTS[mode] = _MODE_COUNTS.get(mode, 0) + 1
+
+
+def trajectory_mode_counts() -> Dict[str, int]:
+    """Snapshot of the per-mode run counters."""
+    with _MODE_LOCK:
+        return dict(_MODE_COUNTS)
+
+
+def reset_trajectory_mode_counts() -> None:
+    with _MODE_LOCK:
+        for key in _MODE_COUNTS:
+            _MODE_COUNTS[key] = 0
+
+
+# chunk sizing: cap the working tensor near 2^21 complex entries
+# (~32 MB at complex128) so deep circuits stay cache-friendly while
+# small circuits still run every shot in one chunk
+_CHUNK_BUDGET = 1 << 21
+
+
+def default_chunk_size(shots: int, num_qubits: int) -> int:
+    """The executor's default ``W``: whole batch, capped by memory."""
+    return min(shots, max(1, _CHUNK_BUDGET >> num_qubits))
+
+
+def run_noise_plan(
+    plan,
+    shots: int,
+    *,
+    entropy: int,
+    dtype=np.complex128,
+    chunk_size: Optional[int] = None,
+) -> Counts:
+    """Execute *plan* for *shots* trajectories and return the counts.
+
+    *entropy* seeds the per-site ``SeedSequence`` spawn; two runs with
+    the same entropy produce identical counts for any *chunk_size*.
+    """
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    dtype = np.dtype(dtype)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(shots, plan.num_qubits)
+    chunk_size = max(1, int(chunk_size))
+    children = np.random.SeedSequence(entropy).spawn(max(plan.num_sites, 1))
+    draws = [
+        np.random.default_rng(child).random(shots) for child in children
+    ]
+    values = np.empty(shots, dtype=np.int64)
+    for lo in range(0, shots, chunk_size):
+        hi = min(shots, lo + chunk_size)
+        values[lo:hi] = _run_chunk(plan, draws, lo, hi, dtype)
+    return counts_from_outcomes(values, plan.width, shots=shots)
+
+
+def _run_chunk(
+    plan, draws: List[np.ndarray], lo: int, hi: int, dtype
+) -> np.ndarray:
+    width = hi - lo
+    n = plan.num_qubits
+    batch = np.zeros((width,) + (2,) * n, dtype=dtype)
+    batch[(slice(None),) + (0,) * n] = 1.0
+    steps = plan.compiled_steps(dtype)
+
+    clbits = np.zeros(width, dtype=np.int64)
+    for step in steps:
+        kind = step[0]
+        if kind == "span":
+            batch = _execute_span(batch, step[1])
+        elif kind == "channel":
+            batch = _apply_channel_chunk(
+                batch, step[1], draws[step[2]][lo:hi]
+            )
+        else:  # "measure"
+            _, qubit, clbit, site, readout, readout_site = step
+            outcome = _collapse_measure(
+                batch, qubit, draws[site][lo:hi]
+            )
+            bits = outcome.astype(np.int64)
+            if readout is not None:
+                flips = draws[readout_site][lo:hi] < np.where(
+                    outcome, readout.prob_0_given_1, readout.prob_1_given_0
+                )
+                bits ^= flips.astype(np.int64)
+            clbits = (clbits & ~(1 << clbit)) | (bits << clbit)
+    if not plan.terminal:
+        return clbits
+    outcomes = _sample_joint(batch, draws[plan.sample_site][lo:hi])
+    values = np.zeros(width, dtype=np.int64)
+    for qubit, clbit, readout, readout_site in plan.entries:
+        bits = (outcomes >> qubit) & 1
+        if readout is not None:
+            flips = draws[readout_site][lo:hi] < np.where(
+                bits == 1, readout.prob_0_given_1, readout.prob_1_given_0
+            )
+            bits = bits ^ flips.astype(np.int64)
+        values = (values & ~(1 << clbit)) | (bits << clbit)
+    return values
+
+
+def _execute_span(batch: np.ndarray, ops) -> np.ndarray:
+    """Run one compiled span program over a ``(W, 2, ..., 2)`` chunk.
+
+    Op forms come from :func:`repro.execution.noise_plan._compile_span`
+    and are all memory-lean: no route here materialises the
+    transpose-copy sandwich the GEMM kernels pay, which dominated the
+    profile of noisy circuits (every gate anchors a channel, so spans
+    are short and per-op overhead is the whole game).
+    """
+    for op in ops:
+        tag = op[0]
+        if tag == "diag":
+            # in place: the executor owns the chunk tensor
+            batch *= op[1]
+        elif tag == "perm":
+            out = np.empty_like(batch)
+            for out_sel, in_sel, phase in op[1]:
+                if phase is None:
+                    out[out_sel] = batch[in_sel]
+                else:
+                    np.multiply(batch[in_sel], phase, out=out[out_sel])
+            batch = out
+        elif tag == "mul1":
+            _, matrix, qubit = op
+            n = batch.ndim - 1
+            left = batch.shape[0] << qubit
+            right = 1 << (n - 1 - qubit)
+            view = batch.reshape(left, 2, right)
+            # C-order allocation guarantees the reshape below is a view
+            out = np.empty(batch.shape, dtype=batch.dtype)
+            result = out.reshape(left, 2, right)
+            v0 = view[:, 0, :]
+            v1 = view[:, 1, :]
+            np.multiply(v0, matrix[0, 0], out=result[:, 0, :])
+            result[:, 0, :] += matrix[0, 1] * v1
+            np.multiply(v0, matrix[1, 0], out=result[:, 1, :])
+            result[:, 1, :] += matrix[1, 1] * v1
+            batch = out
+        else:  # "gen"
+            batch = apply_matrix_batch(batch, op[1], op[2])
+    return batch
+
+
+def _apply_channel_chunk(
+    batch: np.ndarray, binding, uniforms: np.ndarray
+) -> np.ndarray:
+    """One stochastic channel on a whole chunk."""
+    qubits = binding.qubits
+    if binding.kind == "mixed":
+        last = binding.num_branches - 1
+        branches = np.minimum(
+            np.searchsorted(binding.cumulative, uniforms, side="right"),
+            last,
+        )
+        for index in np.unique(branches):
+            op = binding.scaled_ops[index]
+            if op is None or binding.identity_flags[index]:
+                continue
+            mask = branches == index
+            if mask.all():
+                batch = apply_matrix_batch(batch, op, qubits)
+            else:
+                batch[mask] = apply_matrix_batch(batch[mask], op, qubits)
+        return batch
+    # general Kraus: ||K psi||^2 = Tr(gram rho) for every branch in one
+    # reduced-density pass, then categorical sampling per shot
+    from .batched import _reduced_density_batch
+
+    shots = batch.shape[0]
+    rho = _reduced_density_batch(batch, qubits)
+    norms = np.empty((binding.num_branches, shots))
+    for i, gram in enumerate(binding.grams):
+        norms[i] = np.einsum("ij,sji->s", gram, rho).real
+    norms = np.maximum(norms, 0.0)
+    totals = np.maximum(norms.sum(axis=0), 1e-300)
+    cumulative = np.cumsum(norms / totals, axis=0)
+    branches = (uniforms[None, :] > cumulative).sum(axis=0)
+    branches = np.minimum(branches, binding.num_branches - 1)
+    chosen = np.sqrt(
+        np.maximum(norms[branches, np.arange(shots)], 1e-300)
+    )
+    scale = (1.0 / chosen).reshape((-1,) + (1,) * (batch.ndim - 1))
+    unique_branches = np.unique(branches)
+    if len(unique_branches) == 1:
+        index = int(unique_branches[0])
+        out = apply_matrix_batch(batch, binding.operators[index], qubits)
+        if out is batch:
+            out = batch * scale
+        else:
+            out *= scale
+        return out
+    out = np.empty_like(batch)
+    for index in unique_branches:
+        mask = branches == index
+        out[mask] = apply_matrix_batch(
+            batch[mask], binding.operators[index], qubits
+        )
+    out *= scale
+    return out
+
+
+def _collapse_measure(
+    batch: np.ndarray, qubit: int, uniforms: np.ndarray
+) -> np.ndarray:
+    """Measure *qubit* on every shot of the chunk, collapsing in place.
+
+    Returns the boolean outcome array.  Convention matches
+    :meth:`Statevector.measure_qubit`: outcome 1 iff ``u < P(1)``.
+    """
+    shots = batch.shape[0]
+    view = np.moveaxis(batch, qubit + 1, 1)
+    prob1 = (
+        (np.abs(view[:, 1]) ** 2).reshape(shots, -1).sum(axis=1)
+    )
+    outcome = uniforms < prob1
+    ones = np.nonzero(outcome)[0]
+    zeros = np.nonzero(~outcome)[0]
+    view[ones, 0] = 0
+    view[zeros, 1] = 0
+    kept = np.where(outcome, prob1, 1.0 - prob1)
+    batch /= np.sqrt(np.maximum(kept, 1e-300)).reshape(
+        (-1,) + (1,) * (batch.ndim - 1)
+    )
+    return outcome
+
+
+def _sample_joint(batch: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+    """One little-endian basis index per shot from the final state."""
+    shots = batch.shape[0]
+    n = batch.ndim - 1
+    axes = (0,) + tuple(range(n, 0, -1))
+    probs = np.abs(batch.transpose(axes).reshape(shots, -1)) ** 2
+    probs /= probs.sum(axis=1, keepdims=True)
+    cumulative = np.cumsum(probs, axis=1)
+    outcomes = (uniforms[:, None] > cumulative).sum(axis=1)
+    return np.minimum(outcomes, probs.shape[1] - 1)

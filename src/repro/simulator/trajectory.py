@@ -23,12 +23,19 @@ from .counts import Counts, counts_from_outcomes, remap_bits
 from .statevector import Statevector, format_bitstring
 
 __all__ = [
+    "TRAJECTORY_MODES",
     "TrajectorySimulator",
     "measures_are_terminal",
     "run_counts",
     "terminal_distribution",
     "sample_terminal_counts",
 ]
+
+# trajectory-ensemble implementations: "batched" evolves all shots in
+# chunked tensors through the noise-bound plan executor
+# (:mod:`repro.simulator.noisy`); "legacy" is the original per-shot
+# Python loop, bit-identical to the pre-plan behaviour at fixed seeds
+TRAJECTORY_MODES = ("batched", "legacy")
 
 
 def terminal_distribution(
@@ -105,14 +112,30 @@ class TrajectorySimulator:
         *,
         plan: bool = True,
         fuse: str = "full",
+        trajectories: str = "batched",
+        chunk_size: Optional[int] = None,
     ) -> None:
-        """*plan*/*fuse* steer the noiseless fast path through the
-        compiled-plan tier (see :mod:`repro.execution.plan`); per-shot
-        trajectories always walk instruction-by-instruction — noise
-        channels and collapses anchor to individual gates."""
+        """*plan*/*fuse* steer execution through the compiled-plan tier
+        (see :mod:`repro.execution.plan`): the noiseless fast path uses
+        fused noiseless plans, and the default ``trajectories="batched"``
+        ensemble runs through cached noise-bound plans
+        (:mod:`repro.execution.noise_plan`) in chunks of *chunk_size*
+        shots.  ``trajectories="legacy"`` restores the per-shot Python
+        loop — bit-identical to the pre-plan behaviour at fixed seeds —
+        where noise channels and collapses anchor to individual gates.
+        """
+        if trajectories not in TRAJECTORY_MODES:
+            raise ValueError(
+                f"unknown trajectories mode {trajectories!r}; expected "
+                f"one of {', '.join(TRAJECTORY_MODES)}"
+            )
+        if chunk_size is not None and int(chunk_size) <= 0:
+            raise ValueError("chunk_size must be positive")
         self.noise_model = noise_model
         self.plan = plan
         self.fuse = fuse
+        self.trajectories = trajectories
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         if isinstance(seed, np.random.Generator):
             self._rng = seed
         else:
@@ -149,6 +172,11 @@ class TrajectorySimulator:
 
     # ------------------------------------------------------------------
     def _run_trajectories(self, circuit: QuantumCircuit, shots: int) -> Counts:
+        if self.trajectories == "batched":
+            return self._run_batched(circuit, shots)
+        from .noisy import record_trajectory_mode
+
+        record_trajectory_mode("legacy")
         histogram: Dict[str, int] = {}
         explicit_measures = circuit.has_measurements()
         num_clbits = (
@@ -160,6 +188,36 @@ class TrajectorySimulator:
             )
             histogram[key] = histogram.get(key, 0) + 1
         return Counts(histogram, shots=shots)
+
+    def _run_batched(self, circuit: QuantumCircuit, shots: int) -> Counts:
+        """Chunked tensor ensemble through the noise-bound plan tier.
+
+        Statistically equivalent to the per-shot loop (every channel
+        family and mid-circuit collapse included), but with different
+        per-site seeding — at a fixed seed the counts differ from
+        ``trajectories="legacy"`` while both converge to the same
+        distribution.  Derives one entropy integer from the simulator's
+        generator so repeated ``run`` calls stay independent.
+        """
+        from ..execution.noise_plan import build_noise_plan
+        from ..execution.plan_cache import get_noise_plan
+        from .noisy import record_trajectory_mode, run_noise_plan
+
+        if self.plan:
+            noise_plan = get_noise_plan(circuit, self.noise_model, self.fuse)
+        else:
+            noise_plan = build_noise_plan(
+                circuit, self.noise_model, self.fuse
+            )
+        record_trajectory_mode("batched")
+        entropy = int(self._rng.integers(0, 2 ** 63))
+        return run_noise_plan(
+            noise_plan,
+            shots,
+            entropy=entropy,
+            dtype=np.complex128,
+            chunk_size=self.chunk_size,
+        )
 
     def _single_trajectory(
         self,
@@ -206,17 +264,26 @@ class TrajectorySimulator:
             return
         mixed_probs = getattr(channel, "mixed_unitary_probs", None)
         if mixed_probs is not None:
-            # mixed-unitary fast path: state-independent probabilities
-            index = int(
-                np.searchsorted(
-                    np.cumsum(mixed_probs), self._rng.random()
-                )
-            )
+            # mixed-unitary fast path: state-independent probabilities.
+            # The cumulative table and pre-scaled branch matrices are
+            # cached on the channel (same expressions, so the draws and
+            # applied operators are bit-identical to recomputing them)
+            cumulative = getattr(channel, "mixed_unitary_cumulative", None)
+            if cumulative is None:
+                cumulative = np.cumsum(mixed_probs)
+            index = int(np.searchsorted(cumulative, self._rng.random()))
             index = min(index, len(operators) - 1)
-            op = operators[index]
+            scaled = getattr(channel, "mixed_unitary_scaled", None)
+            if scaled is not None:
+                op = scaled[index]
+                if op is not None:
+                    state.apply_matrix(op, qubits)
+                return
             weight = mixed_probs[index]
             if weight > 0:
-                state.apply_matrix(op / np.sqrt(weight), qubits)
+                state.apply_matrix(
+                    operators[index] / np.sqrt(weight), qubits
+                )
             return
         draw = self._rng.random()
         cumulative = 0.0

@@ -1,0 +1,235 @@
+"""Noise-bound lowering: trace-time classification, caching, keying.
+
+The contract under test (see ``repro/execution/noise_plan.py``):
+
+* channels are resolved and classified once per plan — mixed-unitary
+  channels carry precomputed cumulative tables and pre-scaled branch
+  matrices, general Kraus channels carry Gram matrices;
+* single-operator (unitary) channels fold into the surrounding span
+  instead of anchoring a stochastic step;
+* the cache key is structural hash x noise fingerprint x fusion — two
+  models on one circuit never collide, and mutating a model re-keys it;
+* a cache hit does zero re-tracing (misses == traces).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.execution import build_noise_plan, get_noise_plan
+from repro.execution.noise_plan import ChannelBinding
+from repro.execution.plan_cache import PlanCache
+from repro.noise import (
+    NoiseModel,
+    QuantumChannel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+)
+
+
+def _circuit():
+    qc = QuantumCircuit(3, 3)
+    qc.h(0).cx(0, 1).rz(0.4, 1).cx(1, 2).x(2)
+    for q in range(3):
+        qc.measure(q, q)
+    return qc
+
+
+def _mixed_model():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(depolarizing(0.02), ["h", "x"])
+    model.add_all_qubit_quantum_error(
+        depolarizing(0.05, num_qubits=2), ["cx"]
+    )
+    model.add_readout_error(ReadoutError(0.03, 0.06), 0)
+    return model
+
+
+class TestChannelPrecompute:
+    def test_cumulative_table_cached_on_channel(self):
+        channel = depolarizing(0.1)
+        table = channel.mixed_unitary_cumulative
+        assert table is channel.mixed_unitary_cumulative  # memoized
+        np.testing.assert_allclose(
+            table, np.cumsum(channel.mixed_unitary_probs)
+        )
+        assert table[-1] == pytest.approx(1.0)
+
+    def test_scaled_branches_cached_and_prescaled(self):
+        channel = bit_flip(0.25)
+        scaled = channel.mixed_unitary_scaled
+        assert scaled is channel.mixed_unitary_scaled
+        probs = channel.mixed_unitary_probs
+        for op, weight, ref in zip(
+            scaled, probs, channel.kraus_operators
+        ):
+            np.testing.assert_array_equal(op, ref / np.sqrt(weight))
+
+    def test_kraus_grams_cached(self):
+        channel = amplitude_damping(0.2)
+        grams = channel.kraus_grams
+        assert grams is channel.kraus_grams
+        for gram, op in zip(grams, channel.kraus_operators):
+            np.testing.assert_allclose(gram, op.conj().T @ op)
+
+    def test_binding_classification(self):
+        mixed = ChannelBinding(depolarizing(0.1), (0,))
+        assert mixed.kind == "mixed"
+        assert mixed.cumulative is not None and mixed.grams is None
+        kraus = ChannelBinding(amplitude_damping(0.2), (1,))
+        assert kraus.kind == "kraus"
+        assert kraus.cumulative is None and kraus.grams is not None
+        assert kraus.qubits == (1,)
+
+
+class TestErrorsForMemo:
+    def test_memoized_per_name_and_qubits(self):
+        model = _mixed_model()
+        qc = _circuit()
+        gates = [inst for inst in qc if not inst.is_measure]
+        first = model.errors_for(gates[0])
+        assert model.errors_for(gates[0]) is first
+
+    def test_mutation_invalidates_memo_and_fingerprint(self):
+        model = _mixed_model()
+        qc = _circuit()
+        gate = next(iter(qc))
+        before = model.errors_for(gate)
+        fp_before = model.fingerprint()
+        assert model.fingerprint() == fp_before  # stable until mutated
+        model.add_all_qubit_quantum_error(bit_flip(0.01), ["h"])
+        after = model.errors_for(gate)
+        assert after is not before
+        assert len(after) == len(before) + 1
+        assert model.fingerprint() != fp_before
+
+    def test_fingerprint_distinguishes_models(self):
+        a = _mixed_model().fingerprint()
+        b = _mixed_model().fingerprint()
+        assert a == b  # deterministic across equal builds
+        other = NoiseModel()
+        other.add_all_qubit_quantum_error(depolarizing(0.021), ["h", "x"])
+        assert other.fingerprint() != a
+
+
+class TestBuildNoisePlan:
+    def test_channels_anchor_and_spans_fuse(self):
+        plan = build_noise_plan(_circuit(), _mixed_model())
+        assert plan.terminal
+        # h, cx, cx, x carry channels; rz has none bound
+        assert plan.num_channels == 4
+        assert plan.source_gates == 5
+        # one readout entry bound, on qubit 0
+        readouts = [e for e in plan.entries if e[2] is not None]
+        assert [e[0] for e in readouts] == [0]
+        # sites: 4 channels + 1 terminal sample + 1 readout
+        assert plan.num_sites == 6
+
+    def test_trivial_model_is_pure_spans(self):
+        plan = build_noise_plan(_circuit(), NoiseModel())
+        assert plan.num_channels == 0
+        assert plan.num_spans >= 1
+        assert plan.num_sites == 1  # just the terminal sample
+
+    def test_single_kraus_channel_folds_into_span(self):
+        unitary = QuantumChannel([np.diag([1.0, 1j])], "s-rot")
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(unitary, ["h"])
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        plan = build_noise_plan(qc, model)
+        assert plan.num_channels == 0  # folded: unitary, no randomness
+        assert plan.num_spans == 1
+
+    def test_identity_gate_keeps_its_channel(self):
+        model = NoiseModel()
+        model.add_all_qubit_quantum_error(bit_flip(0.3), ["id"])
+        qc = QuantumCircuit(1, 1)
+        qc.i(0)
+        qc.measure(0, 0)
+        plan = build_noise_plan(qc, model)
+        assert plan.num_spans == 0  # identity dropped from the span
+        assert plan.num_channels == 1  # but its channel is kept
+
+    def test_mid_circuit_measure_steps_carry_sites(self):
+        model = NoiseModel()
+        model.add_readout_error(ReadoutError(0.1, 0.1), 0)
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure(0, 0)
+        qc.x(0)
+        qc.measure(1, 1)
+        plan = build_noise_plan(qc, model)
+        assert not plan.terminal
+        measures = [s for s in plan.steps if s[0] == "measure"]
+        assert len(measures) == 2
+        # qubit 0's measure has a bound readout + its own site
+        assert measures[0][4] is not None
+        assert measures[0][5] is not None
+        # qubit 1 has no readout error bound
+        assert measures[1][4] is None
+
+    def test_unknown_fusion_rejected(self):
+        with pytest.raises(ValueError, match="fusion"):
+            build_noise_plan(_circuit(), NoiseModel(), fusion="mega")
+
+
+class TestNoisePlanCache:
+    def test_hit_miss_and_zero_retrace(self):
+        cache = PlanCache(maxsize=8)
+        qc = _circuit()
+        model = _mixed_model()
+        first = cache.noise_plan_for(qc, model)
+        again = cache.noise_plan_for(qc, model)
+        assert again is first  # hit: zero re-trace
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_two_models_never_collide(self):
+        cache = PlanCache(maxsize=8)
+        qc = _circuit()
+        a = cache.noise_plan_for(qc, _mixed_model())
+        other = NoiseModel()
+        other.add_all_qubit_quantum_error(amplitude_damping(0.1), ["h"])
+        b = cache.noise_plan_for(qc, other)
+        assert b is not a
+        assert cache.stats().misses == 2
+        assert b.num_channels != a.num_channels
+
+    def test_mutated_model_rekeys(self):
+        cache = PlanCache(maxsize=8)
+        qc = _circuit()
+        model = _mixed_model()
+        first = cache.noise_plan_for(qc, model)
+        model.add_all_qubit_quantum_error(bit_flip(0.01), ["rz"])
+        second = cache.noise_plan_for(qc, model)
+        assert second is not first
+        assert second.num_channels == first.num_channels + 1
+
+    def test_fusion_levels_key_separately(self):
+        cache = PlanCache(maxsize=8)
+        qc = _circuit()
+        model = _mixed_model()
+        full = cache.noise_plan_for(qc, model, "full")
+        none = cache.noise_plan_for(qc, model, "none")
+        assert none is not full
+
+    def test_disabled_cache_bypasses(self):
+        cache = PlanCache(maxsize=8)
+        cache.enabled = False
+        qc = _circuit()
+        model = _mixed_model()
+        a = cache.noise_plan_for(qc, model)
+        b = cache.noise_plan_for(qc, model)
+        assert a is not b
+
+    def test_global_helper_caches(self):
+        cache = PlanCache(maxsize=4)
+        qc = _circuit()
+        model = _mixed_model()
+        a = get_noise_plan(qc, model, cache=cache)
+        b = get_noise_plan(qc, model, cache=cache)
+        assert a is b

@@ -1,0 +1,246 @@
+"""Batched trajectory ensembles vs the legacy per-shot reference.
+
+The contract under test (see ``repro/simulator/noisy.py``):
+
+* ``trajectories="legacy"`` is bit-identical to the pre-plan per-shot
+  engine at pinned seeds (the hard-coded dicts below were captured on
+  the pre-refactor implementation);
+* the batched ensemble is statistically equivalent to legacy for every
+  channel family (mixed-unitary, general Kraus, mid-circuit measures);
+* counts are independent of the chunk size for a fixed seed —
+  ``chunk_size=1`` and ``chunk_size=64`` are bit-identical;
+* knobs validate and route: the batched engine refuses the legacy
+  ensemble, ``run()`` reroutes ``legacy`` to the trajectory engine,
+  and the per-mode counters record which implementation ran.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.execution import run
+from repro.metrics import tvd_counts
+from repro.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    fake_valencia,
+    thermal_relaxation,
+)
+from repro.simulator.noisy import (
+    default_chunk_size,
+    reset_trajectory_mode_counts,
+    trajectory_mode_counts,
+)
+from repro.simulator.trajectory import TrajectorySimulator
+
+
+def _circuit():
+    qc = QuantumCircuit(3, 3)
+    qc.h(0).cx(0, 1).rz(0.3, 1).cx(1, 2).x(2)
+    for q in range(3):
+        qc.measure(q, q)
+    return qc
+
+
+def _mixed_model():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(depolarizing(0.02), ["h", "x", "rz"])
+    model.add_all_qubit_quantum_error(
+        depolarizing(0.05, num_qubits=2), ["cx"]
+    )
+    model.add_readout_error(ReadoutError(0.03, 0.06), 0)
+    model.add_readout_error(ReadoutError(0.02, 0.01), 2)
+    return model
+
+
+def _kraus_model():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(amplitude_damping(0.08), ["h", "x"])
+    model.add_all_qubit_quantum_error(
+        thermal_relaxation(50.0, 70.0, 2.0), ["cx"]
+    )
+    return model
+
+
+def _mid_circuit():
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.x(0)
+    qc.cx(0, 1)
+    qc.measure(1, 1)
+    return qc
+
+
+def _mid_model():
+    model = NoiseModel()
+    model.add_all_qubit_quantum_error(bit_flip(0.1), ["x", "h"])
+    model.add_readout_error(ReadoutError(0.05, 0.05), 0)
+    return model
+
+
+class TestLegacyBitIdentity:
+    """Pinned pre-refactor outputs — the legacy path must not move."""
+
+    def test_mixed_unitary_with_readout(self):
+        sim = TrajectorySimulator(_mixed_model(), 123, trajectories="legacy")
+        assert dict(sim.run(_circuit(), 400)) == {
+            "100": 171, "011": 182, "010": 16, "000": 9,
+            "101": 14, "001": 2, "110": 2, "111": 4,
+        }
+
+    def test_general_kraus(self):
+        sim = TrajectorySimulator(_kraus_model(), 7, trajectories="legacy")
+        assert dict(sim.run(_circuit(), 300)) == {
+            "011": 115, "100": 150, "010": 5, "000": 12,
+            "001": 5, "101": 8, "111": 5,
+        }
+
+    def test_mid_circuit_measurement(self):
+        sim = TrajectorySimulator(_mid_model(), 42, trajectories="legacy")
+        assert dict(sim.run(_mid_circuit(), 300)) == {
+            "01": 127, "10": 134, "00": 21, "11": 18,
+        }
+
+    def test_backend_noise_model(self):
+        model = fake_valencia().noise_model()
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1)
+        qc.measure(0, 0)
+        qc.measure(1, 1)
+        sim = TrajectorySimulator(model, 99, trajectories="legacy")
+        assert dict(sim.run(qc, 200)) == {
+            "00": 100, "11": 92, "01": 4, "10": 4,
+        }
+
+    def test_unmeasured_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        sim = TrajectorySimulator(_mid_model(), 5, trajectories="legacy")
+        assert dict(sim.run(qc, 200)) == {
+            "00": 86, "11": 104, "10": 6, "01": 4,
+        }
+
+
+class TestBatchedEquivalence:
+    """TVD(batched, legacy) within shot noise per channel family."""
+
+    @pytest.mark.parametrize(
+        "circuit,model",
+        [
+            (_circuit(), _mixed_model()),
+            (_circuit(), _kraus_model()),
+            (_mid_circuit(), _mid_model()),
+        ],
+        ids=["mixed-readout", "general-kraus", "mid-circuit"],
+    )
+    def test_distributions_agree(self, circuit, model):
+        shots = 8000
+        legacy = TrajectorySimulator(
+            model, 11, trajectories="legacy"
+        ).run(circuit, shots)
+        batched = TrajectorySimulator(
+            model, 22, trajectories="batched"
+        ).run(circuit, shots)
+        assert tvd_counts(legacy, batched) < 0.035
+
+    def test_trivial_model_matches_noiseless_exactly(self):
+        qc = _circuit()
+        trivial = run(qc, 500, noise_model=NoiseModel(), seed=9)
+        noiseless = run(qc, 500, seed=9)
+        assert trivial == noiseless
+
+
+class TestChunkInvariance:
+    def test_chunk_sizes_are_bit_identical(self):
+        reference = None
+        for chunk in (1, 7, 64, None):
+            sim = TrajectorySimulator(
+                _mixed_model(), 123, trajectories="batched", chunk_size=chunk
+            )
+            counts = dict(sim.run(_circuit(), 400))
+            if reference is None:
+                reference = counts
+            assert counts == reference, f"chunk_size={chunk} diverged"
+
+    def test_kraus_chunk_invariance(self):
+        reference = None
+        for chunk in (1, 64):
+            sim = TrajectorySimulator(
+                _kraus_model(), 3, trajectories="batched", chunk_size=chunk
+            )
+            counts = dict(sim.run(_circuit(), 300))
+            if reference is None:
+                reference = counts
+            assert counts == reference
+
+    def test_default_chunk_size_caps_memory(self):
+        assert default_chunk_size(100, 2) == 100  # whole batch
+        assert default_chunk_size(10 ** 9, 21) == 1
+        assert default_chunk_size(4096, 12) == min(4096, 1 << 9)
+
+
+class TestKnobsAndRouting:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="trajectories"):
+            TrajectorySimulator(None, 0, trajectories="vectorised")
+        with pytest.raises(ValueError, match="trajectories"):
+            run(_circuit(), 10, trajectories="vectorised")
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            TrajectorySimulator(None, 0, chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size"):
+            run(_circuit(), 10, chunk_size=-1)
+
+    def test_batched_engine_refuses_legacy(self):
+        with pytest.raises(ValueError, match="legacy"):
+            run(
+                _circuit(),
+                10,
+                noise_model=_mixed_model(),
+                method="batched",
+                trajectories="legacy",
+            )
+
+    def test_auto_dispatch_reroutes_legacy(self):
+        reset_trajectory_mode_counts()
+        run(
+            _circuit(),
+            50,
+            noise_model=_mixed_model(),
+            seed=1,
+            trajectories="legacy",
+        )
+        assert trajectory_mode_counts()["legacy"] == 1
+
+    def test_default_noisy_dispatch_is_batched(self):
+        reset_trajectory_mode_counts()
+        run(_circuit(), 50, noise_model=_mixed_model(), seed=1)
+        counts = trajectory_mode_counts()
+        assert counts["batched"] == 1 and counts["legacy"] == 0
+
+    def test_seed_determinism_across_runs(self):
+        a = run(
+            _circuit(), 300, noise_model=_mixed_model(), seed=17
+        )
+        b = run(
+            _circuit(), 300, noise_model=_mixed_model(), seed=17
+        )
+        assert a == b
+
+    def test_chunk_size_invariant_through_run(self):
+        base = run(
+            _circuit(), 300, noise_model=_mixed_model(), seed=17
+        )
+        chunked = run(
+            _circuit(),
+            300,
+            noise_model=_mixed_model(),
+            seed=17,
+            chunk_size=13,
+        )
+        assert chunked == base
