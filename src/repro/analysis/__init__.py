@@ -1,5 +1,12 @@
 """Security and cost analysis tools: structural leakage, boundary
-detectability, timing schedules and analytic fidelity estimates."""
+detectability, timing schedules and analytic fidelity estimates.
+
+The :mod:`repro.analysis.static` subpackage adds static verification
+over the compiled-execution tier — plan contract checking, dataflow
+lowering proofs and stabilizer-tableau equivalence certificates; import
+it explicitly (``from repro.analysis import static``), it is not pulled
+in here so the lightweight analyses stay import-cheap.
+"""
 
 from .leakage import (
     boundary_detection_score,

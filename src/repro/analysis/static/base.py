@@ -1,0 +1,75 @@
+"""Shared result types for the static verification passes.
+
+Every pass (contracts, dataflow, tableau) reports through the same two
+types so the CLI, the service counters, and CI can consume findings
+uniformly:
+
+* :class:`Violation` — one broken invariant, with a stable rule id, a
+  human-readable message, and an optional location (op index, step
+  index, site number, ...).
+* :class:`Report` — the outcome of running one pass over one subject
+  (a plan, a noise plan, an op stream).  ``ok`` is ``True`` iff no
+  violations were recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken static invariant."""
+
+    rule: str
+    message: str
+    location: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"rule": self.rule, "message": self.message}
+        if self.location is not None:
+            out["location"] = self.location
+        return out
+
+    def __str__(self) -> str:
+        if self.location is not None:
+            return f"[{self.rule}] {self.location}: {self.message}"
+        return f"[{self.rule}] {self.message}"
+
+
+@dataclass
+class Report:
+    """Outcome of one static pass over one subject."""
+
+    subject: str
+    violations: list[Violation] = field(default_factory=list)
+    checks: int = 0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, rule: str, message: str, location: str | None = None) -> None:
+        self.violations.append(Violation(rule, message, location))
+
+    def check(self, condition: bool, rule: str, message: str, location: str | None = None) -> bool:
+        """Count one check; record a violation when ``condition`` is false."""
+        self.checks += 1
+        if not condition:
+            self.add(rule, message, location)
+        return bool(condition)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "checks": self.checks,
+            "violations": [v.to_dict() for v in self.violations],
+            "metadata": dict(self.metadata),
+        }
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"{self.subject}: {state} ({self.checks} checks)"

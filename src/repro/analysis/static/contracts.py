@@ -1,0 +1,799 @@
+"""Plan contract checking: validate plan IR without executing it.
+
+The compiled-execution tier (:mod:`repro.execution.plan`,
+:mod:`repro.execution.noise_plan`) carries a set of structural
+invariants that every engine, codegen backend and cache consumer relies
+on.  This module states them as executable contracts:
+
+* every qubit/clbit index in range, no duplicate qubits per op;
+* every fused matrix unitary to tolerance, every diagonal op truly a
+  unit-modulus diagonal with its qubits ascending (the storage
+  convention :func:`repro.execution.plan._gate_diag` establishes);
+* the fused stream's qubit support equals the union of the non-identity
+  source ops' support — fusion neither invents nor loses qubits;
+* ``fusion="none"`` streams are 1:1 with the non-identity source gates
+  (the bit-identity contract);
+* measure ordering preserved against the source circuit;
+* noise plans: random sites numbered ``0..num_sites-1`` in program
+  order, spans never adjacent (an anchor sits between any two), every
+  :class:`~repro.execution.noise_plan.ChannelBinding` CPTP with a
+  monotone cumulative table summing to 1, monomial classifications
+  exact, and — when the source circuit and model are supplied — fusion
+  provably never crossing a noise anchor (each span re-derived and
+  justified from its own segment only, via
+  :func:`repro.analysis.static.dataflow.verify_lowering`).
+
+Checking never mutates or executes a plan.  :func:`check_plan` /
+:func:`check_noise_plan` return a :class:`~.base.Report`;
+:func:`validate_plan` / :func:`validate_noise_plan` raise
+:class:`PlanContractError` instead — that is what the opt-in
+``validate=`` knob on the plan caches calls at build time.  Module
+counters (:func:`validation_stats`) feed the service ``/stats``
+endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...circuits.circuit import QuantumCircuit
+from ...execution.noise_plan import (
+    ChannelBinding,
+    NoisePlan,
+    _monomial_decomposition,
+    _SpanGate,
+)
+from ...execution.plan import (
+    FUSION_LEVELS,
+    ExecutionPlan,
+    PlanOp,
+    TracedOp,
+    _is_diagonal,
+)
+from ...simulator.kernels import matrix_is_identity
+from ...simulator.trajectory import measures_are_terminal
+from .base import Report
+
+__all__ = [
+    "PlanContractError",
+    "check_noise_plan",
+    "check_plan",
+    "reset_validation_stats",
+    "validate_noise_plan",
+    "validate_plan",
+    "validation_stats",
+]
+
+# tolerance for unitarity / channel algebra on fused float products
+_ATOL = 1e-8
+_CPTP_ATOL = 1e-6  # matches QuantumChannel's own completeness check
+
+_STATS_LOCK = threading.Lock()
+_STATS = {"plans_checked": 0, "noise_plans_checked": 0, "violations": 0}
+
+
+def validation_stats() -> dict:
+    """Snapshot of the validation counters (surfaced in ``/stats``)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_validation_stats() -> None:
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def _count(kind: str, report: Report) -> Report:
+    with _STATS_LOCK:
+        _STATS[kind] += 1
+        _STATS["violations"] += len(report.violations)
+    return report
+
+
+class PlanContractError(ValueError):
+    """A plan violated its structural contract.
+
+    Raised by the ``validate=`` build-time knob; carries the full
+    :class:`~.base.Report` so callers (CLI, service) can render every
+    violation, not just the first.
+    """
+
+    def __init__(self, report: Report) -> None:
+        self.report = report
+        lines = [report.summary()] + [f"  {v}" for v in report.violations]
+        super().__init__("\n".join(lines))
+
+
+# ---------------------------------------------------------------------------
+# shared op-level checks
+# ---------------------------------------------------------------------------
+
+
+def _check_qubits(
+    report: Report, qubits: Sequence[int], num_qubits: int, loc: str
+) -> bool:
+    ok = report.check(
+        all(0 <= q < num_qubits for q in qubits),
+        "qubit-range",
+        f"qubits {tuple(qubits)} out of range for {num_qubits} qubit(s)",
+        loc,
+    )
+    ok &= report.check(
+        len(set(qubits)) == len(qubits),
+        "qubit-duplicate",
+        f"duplicate qubits in {tuple(qubits)}",
+        loc,
+    )
+    return bool(ok)
+
+
+def _check_plan_op(
+    report: Report, op: PlanOp, num_qubits: int, loc: str, atol: float
+) -> None:
+    if not report.check(
+        op.kind in ("matrix", "diagonal"),
+        "op-kind",
+        f"unknown plan-op kind {op.kind!r}",
+        loc,
+    ):
+        return
+    if not _check_qubits(report, op.qubits, num_qubits, loc):
+        return
+    dim = 1 << len(op.qubits)
+    if op.kind == "matrix":
+        matrix = op.matrix
+        if not report.check(
+            matrix is not None and matrix.shape == (dim, dim),
+            "matrix-shape",
+            f"matrix shape {getattr(matrix, 'shape', None)} does not "
+            f"match {len(op.qubits)} qubit(s)",
+            loc,
+        ):
+            return
+        report.check(
+            np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=atol),
+            "unitarity",
+            "fused matrix is not unitary to tolerance "
+            f"(max |U U^† - I| = "
+            f"{np.abs(matrix @ matrix.conj().T - np.eye(dim)).max():.3e})",
+            loc,
+        )
+    else:
+        diag = op.diag
+        if not report.check(
+            diag is not None and diag.shape == (dim,),
+            "diagonal-shape",
+            f"diagonal vector shape {getattr(diag, 'shape', None)} does "
+            f"not match {len(op.qubits)} qubit(s)",
+            loc,
+        ):
+            return
+        report.check(
+            bool(np.allclose(np.abs(diag), 1.0, atol=atol)),
+            "unitarity",
+            "diagonal op is not unit-modulus "
+            f"(max ||d| - 1| = {np.abs(np.abs(diag) - 1.0).max():.3e})",
+            loc,
+        )
+        report.check(
+            tuple(op.qubits) == tuple(sorted(op.qubits)),
+            "diagonal-structure",
+            f"diagonal op qubits {op.qubits} are not ascending (the "
+            "storage convention puts the smallest qubit at the most "
+            "significant bit)",
+            loc,
+        )
+
+
+def _check_source_op(
+    report: Report, op: TracedOp, num_qubits: int, loc: str
+) -> None:
+    if not _check_qubits(report, op.qubits, num_qubits, loc):
+        return
+    dim = 1 << len(op.qubits)
+    if not report.check(
+        op.matrix.shape == (dim, dim),
+        "matrix-shape",
+        f"source matrix shape {op.matrix.shape} does not match "
+        f"{len(op.qubits)} qubit(s)",
+        loc,
+    ):
+        return
+    report.check(
+        op.identity == matrix_is_identity(op.matrix),
+        "classification",
+        f"identity flag {op.identity} disagrees with the stored matrix",
+        loc,
+    )
+    expected_diag = False if op.identity else _is_diagonal(op.matrix)
+    report.check(
+        op.diagonal == expected_diag,
+        "classification",
+        f"diagonal flag {op.diagonal} disagrees with the stored matrix",
+        loc,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ExecutionPlan contracts
+# ---------------------------------------------------------------------------
+
+
+def check_plan(
+    plan: ExecutionPlan,
+    circuit: Optional[QuantumCircuit] = None,
+    *,
+    atol: float = _ATOL,
+) -> Report:
+    """Contract-check one :class:`ExecutionPlan` without executing it.
+
+    With *circuit* supplied, additionally proves trace fidelity: the
+    source op stream matches the circuit's gates one-for-one and the
+    measure map preserves the circuit's measure ordering.
+    """
+    report = Report(f"plan(fusion={plan.fusion!r})")
+    report.metadata.update(
+        {
+            "fusion": plan.fusion,
+            "num_qubits": plan.num_qubits,
+            "num_ops": plan.num_ops,
+            "source_gates": plan.source_gates,
+        }
+    )
+    report.check(
+        plan.fusion in FUSION_LEVELS,
+        "fusion-level",
+        f"unknown fusion level {plan.fusion!r}",
+    )
+    n = plan.num_qubits
+    for i, op in enumerate(plan.source_ops):
+        _check_source_op(report, op, n, f"source_ops[{i}]")
+    for j, op in enumerate(plan.ops):
+        _check_plan_op(report, op, n, f"ops[{j}]", atol)
+
+    live = [op for op in plan.source_ops if not op.identity]
+    source_support = {q for op in live for q in op.qubits}
+    fused_support = {q for op in plan.ops for q in op.qubits}
+    report.check(
+        fused_support == source_support,
+        "support-union",
+        "fused stream touches qubits "
+        f"{sorted(fused_support)} but the non-identity source ops touch "
+        f"{sorted(source_support)}",
+    )
+
+    if plan.fusion == "none":
+        # bit-identity contract: one op per non-identity source gate,
+        # same qubit order, same matrix object values
+        if report.check(
+            len(plan.ops) == len(live),
+            "none-level-identity",
+            f"fusion='none' stream has {len(plan.ops)} op(s) for "
+            f"{len(live)} non-identity source gate(s)",
+        ):
+            for j, (op, src) in enumerate(zip(plan.ops, live)):
+                report.check(
+                    op.kind == "matrix"
+                    and op.qubits == src.qubits
+                    and np.array_equal(op.matrix, src.matrix),
+                    "none-level-identity",
+                    "fusion='none' op differs from its source gate",
+                    f"ops[{j}]",
+                )
+
+    for i, (qubit, clbit) in enumerate(plan.measured):
+        report.check(
+            0 <= qubit < n,
+            "qubit-range",
+            f"measured qubit {qubit} out of range",
+            f"measured[{i}]",
+        )
+        report.check(
+            0 <= clbit < max(plan.num_clbits, 1),
+            "clbit-range",
+            f"measured clbit {clbit} out of range for "
+            f"{plan.num_clbits} clbit(s)",
+            f"measured[{i}]",
+        )
+
+    if circuit is not None:
+        _check_trace_fidelity(report, plan, circuit)
+    return _count("plans_checked", report)
+
+
+def _check_trace_fidelity(
+    report: Report, plan: ExecutionPlan, circuit: QuantumCircuit
+) -> None:
+    report.check(
+        plan.num_qubits == circuit.num_qubits
+        and plan.num_clbits == circuit.num_clbits,
+        "register-mismatch",
+        f"plan registers ({plan.num_qubits}q, {plan.num_clbits}c) differ "
+        f"from circuit ({circuit.num_qubits}q, {circuit.num_clbits}c)",
+    )
+    gates = [
+        inst
+        for inst in circuit
+        if not inst.is_barrier and not inst.is_measure
+    ]
+    measures = [
+        (inst.qubits[0], inst.clbits[0])
+        for inst in circuit
+        if inst.is_measure
+    ]
+    if report.check(
+        len(gates) == len(plan.source_ops),
+        "trace-fidelity",
+        f"plan traces {len(plan.source_ops)} gate(s) but the circuit "
+        f"has {len(gates)}",
+    ):
+        for i, (inst, op) in enumerate(zip(gates, plan.source_ops)):
+            report.check(
+                op.qubits == inst.qubits
+                and np.array_equal(op.matrix, inst.operation.matrix),
+                "trace-fidelity",
+                f"traced op differs from circuit gate {inst.name!r}",
+                f"source_ops[{i}]",
+            )
+    report.check(
+        tuple(plan.measured) == tuple(measures),
+        "measure-order",
+        "plan measure map does not preserve the circuit's measure "
+        f"ordering (plan {tuple(plan.measured)}, circuit "
+        f"{tuple(measures)})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ChannelBinding / NoisePlan contracts
+# ---------------------------------------------------------------------------
+
+
+def _check_channel_binding(
+    report: Report, binding: ChannelBinding, num_qubits: int, loc: str
+) -> None:
+    if not _check_qubits(report, binding.qubits, num_qubits, loc):
+        return
+    dim = 1 << len(binding.qubits)
+    operators = binding.operators
+    if not report.check(
+        len(operators) >= 1
+        and all(op.shape == (dim, dim) for op in operators),
+        "channel-shape",
+        f"channel operators do not all have shape ({dim}, {dim})",
+        loc,
+    ):
+        return
+    report.check(
+        len(operators) >= 2,
+        "channel-anchor",
+        "single-operator (unitary) channel anchored as a stochastic "
+        "step — it must fold into the surrounding span",
+        loc,
+    )
+    total = sum(op.conj().T @ op for op in operators)
+    report.check(
+        bool(np.allclose(total, np.eye(dim), atol=_CPTP_ATOL)),
+        "cptp",
+        "channel is not trace-preserving "
+        f"(max |sum K^†K - I| = {np.abs(total - np.eye(dim)).max():.3e})",
+        loc,
+    )
+    report.check(
+        binding.kind in ("mixed", "kraus"),
+        "channel-kind",
+        f"unknown channel kind {binding.kind!r}",
+        loc,
+    )
+    if binding.kind == "mixed":
+        cumulative = binding.cumulative
+        if report.check(
+            cumulative is not None and len(cumulative) == len(operators),
+            "cumulative-table",
+            "mixed channel cumulative table missing or mis-sized",
+            loc,
+        ):
+            diffs = np.diff(np.concatenate(([0.0], cumulative)))
+            report.check(
+                bool((diffs >= -_CPTP_ATOL).all()),
+                "cumulative-table",
+                "cumulative probability table is not monotone",
+                loc,
+            )
+            report.check(
+                bool(abs(cumulative[-1] - 1.0) <= _CPTP_ATOL),
+                "cumulative-table",
+                f"cumulative probabilities sum to {cumulative[-1]:.9f}, "
+                "not 1",
+                loc,
+            )
+            for b, (op, p) in enumerate(zip(operators, diffs)):
+                scaled = binding.scaled_ops[b]
+                if p > 1e-12:
+                    report.check(
+                        scaled is not None
+                        and bool(
+                            np.allclose(scaled * np.sqrt(p), op, atol=_ATOL)
+                        ),
+                        "scaled-branch",
+                        f"branch {b} pre-scaled operator does not equal "
+                        "K / sqrt(p)",
+                        loc,
+                    )
+    else:
+        grams = binding.grams
+        if report.check(
+            grams is not None and len(grams) == len(operators),
+            "gram-table",
+            "kraus channel Gram table missing or mis-sized",
+            loc,
+        ):
+            for b, (op, gram) in enumerate(zip(operators, grams)):
+                report.check(
+                    bool(np.allclose(gram, op.conj().T @ op, atol=_ATOL)),
+                    "gram-table",
+                    f"branch {b} cached Gram matrix does not equal K^†K",
+                    loc,
+                )
+    if report.check(
+        len(binding.identity_flags) == len(operators),
+        "identity-flags",
+        "identity-flag table mis-sized",
+        loc,
+    ):
+        for b, (op, flag) in enumerate(
+            zip(operators, binding.identity_flags)
+        ):
+            scalar_id = bool(
+                abs(op[0, 0]) > 1e-12
+                and np.allclose(op, op[0, 0] * np.eye(dim), atol=1e-12)
+            )
+            report.check(
+                flag == scalar_id,
+                "identity-flags",
+                f"branch {b} identity flag {flag} disagrees with the "
+                "operator",
+                loc,
+            )
+
+
+def _check_readout(report: Report, readout, loc: str) -> None:
+    if readout is None:
+        return
+    report.check(
+        0.0 <= readout.prob_1_given_0 <= 1.0
+        and 0.0 <= readout.prob_0_given_1 <= 1.0,
+        "readout-probability",
+        "readout flip probabilities outside [0, 1]",
+        loc,
+    )
+
+
+def check_noise_plan(
+    plan: NoisePlan,
+    circuit: Optional[QuantumCircuit] = None,
+    noise_model=None,
+    *,
+    atol: float = _ATOL,
+) -> Report:
+    """Contract-check one :class:`NoisePlan` without executing it.
+
+    With *circuit* (and optionally *noise_model*) supplied, the anchor
+    structure is re-derived independently and each span is proven to be
+    a correct lowering of its own segment only — i.e. fusion never
+    crossed a noise anchor.
+    """
+    from .dataflow import verify_lowering
+
+    report = Report(f"noise_plan(fusion={plan.fusion!r})")
+    report.metadata.update(
+        {
+            "fusion": plan.fusion,
+            "num_qubits": plan.num_qubits,
+            "spans": plan.num_spans,
+            "channels": plan.num_channels,
+            "terminal": plan.terminal,
+            "num_sites": plan.num_sites,
+        }
+    )
+    report.check(
+        plan.fusion in FUSION_LEVELS,
+        "fusion-level",
+        f"unknown fusion level {plan.fusion!r}",
+    )
+    report.check(plan.width >= 1, "width", f"width {plan.width} < 1")
+    n = plan.num_qubits
+
+    sites: list = []
+    prev_kind: Optional[str] = None
+    for s, step in enumerate(plan.steps):
+        kind = step[0]
+        loc = f"steps[{s}]"
+        if not report.check(
+            kind in ("span", "channel", "measure"),
+            "step-kind",
+            f"unknown step kind {kind!r}",
+            loc,
+        ):
+            prev_kind = kind
+            continue
+        if kind == "span":
+            report.check(
+                prev_kind != "span",
+                "adjacent-spans",
+                "two adjacent spans with no anchor between them — the "
+                "lowering should have fused them",
+                loc,
+            )
+            for j, op in enumerate(step[1]):
+                _check_plan_op(report, op, n, f"{loc}.ops[{j}]", atol)
+                if op.kind == "matrix":
+                    _check_monomial_classification(
+                        report, op.matrix, f"{loc}.ops[{j}]"
+                    )
+        elif kind == "channel":
+            _check_channel_binding(report, step[1], n, loc)
+            sites.append(step[2])
+        else:  # measure
+            qubit, clbit, site, readout, readout_site = step[1:]
+            report.check(
+                not plan.terminal,
+                "terminal-structure",
+                "terminal plan contains a mid-circuit measure step",
+                loc,
+            )
+            report.check(
+                0 <= qubit < n,
+                "qubit-range",
+                f"measured qubit {qubit} out of range",
+                loc,
+            )
+            report.check(
+                0 <= clbit < plan.width,
+                "clbit-range",
+                f"clbit {clbit} out of range for width {plan.width}",
+                loc,
+            )
+            _check_readout(report, readout, loc)
+            sites.append(site)
+            report.check(
+                (readout is None) == (readout_site is None),
+                "site-order",
+                "readout site present iff a readout error is bound",
+                loc,
+            )
+            if readout_site is not None:
+                sites.append(readout_site)
+        prev_kind = kind
+
+    if plan.terminal:
+        report.check(
+            plan.sample_site is not None,
+            "terminal-structure",
+            "terminal plan has no sample site",
+        )
+        if plan.sample_site is not None:
+            sites.append(plan.sample_site)
+        for e, entry in enumerate(plan.entries):
+            qubit, clbit, readout, readout_site = entry
+            loc = f"entries[{e}]"
+            report.check(
+                0 <= qubit < n,
+                "qubit-range",
+                f"entry qubit {qubit} out of range",
+                loc,
+            )
+            report.check(
+                0 <= clbit < plan.width,
+                "clbit-range",
+                f"entry clbit {clbit} out of range for width {plan.width}",
+                loc,
+            )
+            _check_readout(report, readout, loc)
+            report.check(
+                (readout is None) == (readout_site is None),
+                "site-order",
+                "entry readout site present iff a readout error is bound",
+                loc,
+            )
+            if readout_site is not None:
+                sites.append(readout_site)
+    else:
+        report.check(
+            plan.sample_site is None and not plan.entries,
+            "terminal-structure",
+            "non-terminal plan carries terminal sampling structure",
+        )
+
+    report.check(
+        sites == list(range(plan.num_sites)),
+        "site-order",
+        "random sites are not numbered 0..num_sites-1 in program order "
+        f"(got {sites}, expected 0..{plan.num_sites - 1})",
+    )
+
+    if circuit is not None:
+        _check_anchor_structure(
+            report, plan, circuit, noise_model, verify_lowering, atol
+        )
+    return _count("noise_plans_checked", report)
+
+
+def _check_monomial_classification(
+    report: Report, matrix: np.ndarray, loc: str
+) -> None:
+    """Monomial structure classification must hold exactly.
+
+    The chunked executor routes monomial matrices through strided slice
+    copies; a decomposition that does not reconstruct the stored matrix
+    bit-for-bit would silently change the arithmetic.
+    """
+    monomial = _monomial_decomposition(matrix)
+    report.checks += 1
+    if monomial is None:
+        return
+    rows, phases = monomial
+    rebuilt = np.zeros_like(matrix)
+    rebuilt[rows, np.arange(matrix.shape[0])] = phases
+    if not np.array_equal(rebuilt, matrix):
+        report.add(
+            "monomial-structure",
+            "monomial decomposition does not reconstruct the stored "
+            "matrix",
+            loc,
+        )
+
+
+def _check_anchor_structure(
+    report: Report,
+    plan: NoisePlan,
+    circuit: QuantumCircuit,
+    noise_model,
+    verify_lowering,
+    atol: float,
+) -> None:
+    """Re-derive the segment/anchor skeleton and justify every span.
+
+    Walks the circuit exactly like the builder does, producing the
+    expected sequence of anchors (multi-branch channels, mid-circuit
+    measures) and the gate segment between consecutive anchors.  The
+    plan's step stream must interleave identically, and every span must
+    be a provable lowering of *its own* segment — which is precisely the
+    statement that fusion never crossed a noise anchor.
+    """
+    report.check(
+        plan.terminal == measures_are_terminal(circuit),
+        "terminal-structure",
+        f"plan.terminal={plan.terminal} disagrees with the circuit",
+    )
+    noisy = noise_model is not None and not noise_model.is_trivial()
+
+    # expected stream: ("segment", [gates...]) / ("channel", qubits,
+    # operators) / ("measure", qubit, clbit) — segments may be empty
+    segment: list = []
+    expected: list = []
+
+    def _flush() -> None:
+        live = [op for op in segment if not op.identity]
+        if live:
+            expected.append(("segment", live))
+        segment.clear()
+
+    for inst in circuit:
+        if inst.is_barrier:
+            continue
+        if inst.is_measure:
+            if not plan.terminal:
+                _flush()
+                expected.append(
+                    ("measure", inst.qubits[0], inst.clbits[0])
+                )
+            continue
+        segment.append(TracedOp(inst))
+        if not noisy:
+            continue
+        for bound in noise_model.errors_for(inst):
+            qubits = bound.resolve(inst)
+            channel = bound.channel
+            if len(channel.kraus_operators) == 1:
+                segment.append(
+                    _SpanGate(np.asarray(channel.kraus_operators[0]), qubits)
+                )
+                continue
+            _flush()
+            expected.append(("channel", tuple(qubits), channel))
+    _flush()
+
+    steps = list(plan.steps)
+    if not report.check(
+        len(steps) == len(expected),
+        "anchor-structure",
+        f"plan has {len(steps)} step(s) but the circuit walk expects "
+        f"{len(expected)}",
+    ):
+        return
+    for s, (step, want) in enumerate(zip(steps, expected)):
+        loc = f"steps[{s}]"
+        if want[0] == "segment":
+            if not report.check(
+                step[0] == "span",
+                "anchor-structure",
+                f"expected a span here, found {step[0]!r}",
+                loc,
+            ):
+                continue
+            lowering = verify_lowering(
+                want[1], step[1], plan.num_qubits, atol=max(atol, 1e-9)
+            )
+            report.checks += lowering.checks
+            for violation in lowering.violations:
+                report.add(
+                    "anchor-crossing",
+                    f"span is not a lowering of its own segment — "
+                    f"{violation.message}",
+                    f"{loc}.{violation.location or ''}",
+                )
+        elif want[0] == "channel":
+            if not report.check(
+                step[0] == "channel",
+                "anchor-structure",
+                f"expected a channel anchor here, found {step[0]!r}",
+                loc,
+            ):
+                continue
+            binding = step[1]
+            report.check(
+                binding.qubits == want[1]
+                and len(binding.operators)
+                == len(want[2].kraus_operators)
+                and all(
+                    np.array_equal(a, np.asarray(b))
+                    for a, b in zip(
+                        binding.operators, want[2].kraus_operators
+                    )
+                ),
+                "anchor-structure",
+                "channel anchor does not match the circuit's bound "
+                "channel",
+                loc,
+            )
+        else:  # measure
+            report.check(
+                step[0] == "measure" and step[1:3] == want[1:3],
+                "anchor-structure",
+                "mid-circuit measure does not match the circuit's "
+                "measure ordering",
+                loc,
+            )
+
+
+# ---------------------------------------------------------------------------
+# raising wrappers (the build-time ``validate=`` knob)
+# ---------------------------------------------------------------------------
+
+
+def validate_plan(
+    plan: ExecutionPlan,
+    circuit: Optional[QuantumCircuit] = None,
+) -> ExecutionPlan:
+    """:func:`check_plan`, raising :class:`PlanContractError` on failure."""
+    report = check_plan(plan, circuit)
+    if not report.ok:
+        raise PlanContractError(report)
+    return plan
+
+
+def validate_noise_plan(
+    plan: NoisePlan,
+    circuit: Optional[QuantumCircuit] = None,
+    noise_model=None,
+) -> NoisePlan:
+    """:func:`check_noise_plan`, raising on failure."""
+    report = check_noise_plan(plan, circuit, noise_model)
+    if not report.ok:
+        raise PlanContractError(report)
+    return plan

@@ -1,0 +1,120 @@
+"""One-call plan verification: contracts + dataflow + tableau.
+
+:func:`verify_plan` builds fresh plans for a circuit (never through the
+shared caches — verification must see exactly what the lowering
+produces) and runs every static pass:
+
+* contract check of the :class:`~repro.execution.plan.ExecutionPlan`
+  against the circuit;
+* dataflow replay proving the lowering never reordered non-commuting
+  ops;
+* a tableau equivalence certificate when the circuit is Clifford-only;
+* optionally, with a noise model: the noise-plan contract check,
+  including the anchor-structure proof that fusion never crossed a
+  channel anchor.
+
+This is the engine behind ``repro verify-plan`` and the CI
+``verify-plans`` smoke job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ...circuits.circuit import QuantumCircuit
+from ...execution.noise_plan import build_noise_plan
+from ...execution.plan import build_plan
+from .base import Report
+from .contracts import check_noise_plan, check_plan
+from .dataflow import verify_lowering
+from .tableau import TableauCertificate, certify_equivalence
+
+__all__ = ["PlanVerification", "verify_plan"]
+
+
+@dataclass
+class PlanVerification:
+    """All static findings for one (circuit, fusion[, noise]) triple."""
+
+    fusion: str
+    contract: Report
+    lowering: Report
+    tableau: TableauCertificate
+    noise: Optional[Report] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.contract.ok
+            and self.lowering.ok
+            and self.tableau.ok
+            and (self.noise is None or self.noise.ok)
+        )
+
+    @property
+    def violations(self) -> list:
+        out = list(self.contract.violations) + list(self.lowering.violations)
+        if self.noise is not None:
+            out.extend(self.noise.violations)
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {
+            "fusion": self.fusion,
+            "ok": self.ok,
+            "contract": self.contract.to_dict(),
+            "lowering": self.lowering.to_dict(),
+            "tableau": self.tableau.to_dict(),
+        }
+        if self.noise is not None:
+            out["noise"] = self.noise.to_dict()
+        return out
+
+    def summary_lines(self) -> list:
+        lines = [
+            f"fusion={self.fusion}: "
+            + ("ok" if self.ok else "VIOLATIONS"),
+            f"  contract: {self.contract.summary()}",
+            f"  lowering: {self.lowering.summary()}"
+            + (
+                f" [dead ops: {self.lowering.metadata['dead_ops']}]"
+                if self.lowering.metadata.get("dead_ops")
+                else ""
+            ),
+            f"  {self.tableau.summary()}",
+        ]
+        if self.noise is not None:
+            lines.append(f"  noise: {self.noise.summary()}")
+        for violation in self.violations:
+            lines.append(f"    {violation}")
+        if self.tableau.status == "mismatch":
+            lines.append(f"    [tableau] {self.tableau.detail}")
+        return lines
+
+
+def verify_plan(
+    circuit: QuantumCircuit,
+    fusion: str = "full",
+    noise_model=None,
+) -> PlanVerification:
+    """Statically verify the plan(s) a circuit lowers to at *fusion*."""
+    plan = build_plan(circuit, fusion)
+    contract = check_plan(plan, circuit)
+    lowering = verify_lowering(
+        plan.source_ops, plan.ops, plan.num_qubits
+    )
+    tableau = certify_equivalence(
+        plan.source_ops, plan.ops, plan.num_qubits
+    )
+    noise = None
+    if noise_model is not None:
+        noise_plan = build_noise_plan(circuit, noise_model, fusion)
+        noise = check_noise_plan(noise_plan, circuit, noise_model)
+    return PlanVerification(
+        fusion=fusion,
+        contract=contract,
+        lowering=lowering,
+        tableau=tableau,
+        noise=noise,
+    )

@@ -20,6 +20,16 @@ design before sending it to third-party compilers:
   :mod:`repro.attacks` against a real split pair (straight Saki cut
   or obfuscate+interlocking cut) of a benchmark or circuit file, with
   ``--jobs`` parallel search, prefilter and early-exit knobs.
+* ``verify-plan`` — static verification of the compiled-execution
+  tier (:mod:`repro.analysis.static`): contract-check the plan a
+  circuit lowers to, replay-prove the lowering never reordered
+  non-commuting ops, and issue a stabilizer-tableau equivalence
+  certificate for Clifford-only circuits; exit 0 clean / 2 on
+  violations, ``--format json`` for CI.
+* ``lint`` — the determinism linter (:mod:`repro.lint`): AST rules
+  over library code (unseeded RNGs, stdlib ``random``, non-picklable
+  registrations, raw ``hashlib``); flags pass through to
+  ``python -m repro.lint``.
 * ``serve``    — run the protection-as-a-service front-end: an HTTP/
   JSON endpoint over :class:`repro.service.JobService` (priority job
   queue, process-pool workers, circuit-hash result cache, simulate
@@ -117,6 +127,58 @@ def _cmd_protect(args: argparse.Namespace) -> int:
           f"({split.segment2.num_active_qubits} qubits)")
     print(f"private metadata (keep secret): {meta_path}")
     return 0
+
+
+def _cmd_verify_plan(args: argparse.Namespace) -> int:
+    from .analysis.static import verify_plan
+    from .execution.plan import FUSION_LEVELS
+    from .revlib.benchmarks import benchmark_circuit
+
+    try:
+        if args.circuit:
+            circuit = _load_circuit(args.circuit)
+            name = args.circuit
+        else:
+            circuit = benchmark_circuit(args.benchmark)
+            name = args.benchmark
+        noise_model = None
+        if args.noisy:
+            noise_model = valencia_like_backend(
+                circuit.num_qubits
+            ).noise_model()
+        levels = (
+            list(FUSION_LEVELS) if args.fuse == "all" else [args.fuse]
+        )
+        results = [
+            verify_plan(circuit, fusion, noise_model) for fusion in levels
+        ]
+    except (OSError, ValueError, KeyError) as exc:
+        return _fail(exc)
+    ok = all(result.ok for result in results)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "circuit": name,
+                    "num_qubits": circuit.num_qubits,
+                    "noisy": bool(args.noisy),
+                    "ok": ok,
+                    "results": [result.to_dict() for result in results],
+                },
+                indent=2,
+            )
+        )
+        return 0 if ok else 2
+    print(f"verify-plan: {name} ({circuit.num_qubits} qubits)")
+    for result in results:
+        for line in result.summary_lines():
+            print(f"  {line}")
+    print(
+        "result: all plans verified"
+        if ok
+        else "result: VIOLATIONS found"
+    )
+    return 0 if ok else 2
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
@@ -637,6 +699,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     attack.set_defaults(func=_cmd_attack)
 
+    verify = sub.add_parser(
+        "verify-plan",
+        help="statically verify the execution plan(s) a circuit "
+        "lowers to: contracts + lowering proof + tableau certificate",
+    )
+    verify_target = verify.add_mutually_exclusive_group()
+    verify_target.add_argument(
+        "--benchmark", default="4gt13",
+        help="RevLib benchmark to verify",
+    )
+    verify_target.add_argument(
+        "--circuit", default=None,
+        help=".qasm or .real input instead of a named benchmark",
+    )
+    verify.add_argument(
+        "--fuse", default="all",
+        choices=("all", "none", "1q", "full"),
+        help="fusion level(s) to verify (default: all three)",
+    )
+    verify.add_argument(
+        "--noisy", action="store_true",
+        help="also build and contract-check the noise-bound plan "
+        "against a Valencia-style noise model (anchor-crossing proof)",
+    )
+    verify.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format (default: text)",
+    )
+    verify.set_defaults(func=_cmd_verify_plan)
+
     serve = sub.add_parser(
         "serve",
         help="run the HTTP/JSON job service (protection as a service)",
@@ -762,6 +854,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     experiment.set_defaults(func=None, harness=None)
 
+    lint = sub.add_parser(
+        "lint",
+        add_help=False,
+        help="determinism linter over library code "
+        "(flags pass through to python -m repro.lint)",
+    )
+    lint.set_defaults(func=None, harness=None, forward="lint")
+
     for name, module in [
         ("table1", "table1"),
         ("figure4", "figure4"),
@@ -778,6 +878,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # ...) to the experiment's own parser instead of rejecting them
     args, extra = parser.parse_known_args(argv)
     if getattr(args, "func", None) is None:
+        if getattr(args, "forward", None) == "lint":
+            from .lint.cli import main as lint_main
+
+            return lint_main(extra)
         if args.harness is None:
             from .experiments.framework.cli import main as experiment_main
 

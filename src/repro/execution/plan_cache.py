@@ -14,6 +14,12 @@ lookup.
 Cache stats follow the transpile-cache discipline: ``misses`` counts
 exactly the circuits that had to be traced, which is what the bench
 smoke asserts ("zero re-traces on cache hits").
+
+The opt-in ``validate=`` knob contract-checks every freshly built plan
+(:mod:`repro.analysis.static.contracts`) before it enters the cache —
+a broken plan raises :class:`~repro.analysis.static.PlanContractError`
+instead of being stored and served to every later caller.  Cache hits
+are never re-checked: a plan validated once is immutable.
 """
 
 from __future__ import annotations
@@ -37,6 +43,23 @@ __all__ = [
 ]
 
 
+def _validate_plan(plan: ExecutionPlan, circuit: QuantumCircuit) -> ExecutionPlan:
+    # late import: analysis.static imports the plan IR from this package
+    from ..analysis.static.contracts import validate_plan
+
+    return validate_plan(plan, circuit)
+
+
+def _validate_noise_plan(
+    plan: NoisePlan,
+    circuit: QuantumCircuit,
+    noise_model: Optional[NoiseModel],
+) -> NoisePlan:
+    from ..analysis.static.contracts import validate_noise_plan
+
+    return validate_noise_plan(plan, circuit, noise_model)
+
+
 class PlanCache(LRUCache):
     """Thread-safe LRU cache of execution plans.
 
@@ -50,20 +73,33 @@ class PlanCache(LRUCache):
         self.enabled = True
 
     def plan_for(
-        self, circuit: QuantumCircuit, fusion: str = "full"
+        self,
+        circuit: QuantumCircuit,
+        fusion: str = "full",
+        *,
+        validate: bool = False,
     ) -> ExecutionPlan:
-        """The cached plan for *circuit*, tracing it on first sight."""
+        """The cached plan for *circuit*, tracing it on first sight.
+
+        With ``validate=True`` every freshly built plan is
+        contract-checked before it is stored;
+        :class:`~repro.analysis.static.PlanContractError` carries the
+        full violation report.
+        """
         if fusion not in FUSION_LEVELS:
             raise ValueError(
                 f"unknown fusion level {fusion!r}; expected one of "
                 f"{', '.join(FUSION_LEVELS)}"
             )
         if not self.enabled:
-            return build_plan(circuit, fusion)
+            plan = build_plan(circuit, fusion)
+            return _validate_plan(plan, circuit) if validate else plan
         key = (circuit_structural_hash(circuit), fusion)
         plan = self.lookup(key)
         if plan is None:
             plan = build_plan(circuit, fusion)
+            if validate:
+                _validate_plan(plan, circuit)
             self.store(key, plan)
         return plan
 
@@ -72,6 +108,8 @@ class PlanCache(LRUCache):
         circuit: QuantumCircuit,
         noise_model: Optional[NoiseModel] = None,
         fusion: str = "full",
+        *,
+        validate: bool = False,
     ) -> NoisePlan:
         """The cached noise-bound plan for (*circuit*, *noise_model*).
 
@@ -80,7 +118,9 @@ class PlanCache(LRUCache):
         circuit never collide and mutating a model (through its
         ``add_*`` methods) re-keys it.  ``None`` (and trivial models,
         which fingerprint identically regardless of name) gets a
-        noiseless key slot of its own.
+        noiseless key slot of its own.  ``validate=True`` behaves as in
+        :meth:`plan_for` (including the anchor-structure proof against
+        the circuit and model).
         """
         if fusion not in FUSION_LEVELS:
             raise ValueError(
@@ -88,7 +128,10 @@ class PlanCache(LRUCache):
                 f"{', '.join(FUSION_LEVELS)}"
             )
         if not self.enabled:
-            return build_noise_plan(circuit, noise_model, fusion)
+            plan = build_noise_plan(circuit, noise_model, fusion)
+            if validate:
+                _validate_noise_plan(plan, circuit, noise_model)
+            return plan
         fingerprint = (
             noise_model.fingerprint() if noise_model is not None else None
         )
@@ -96,6 +139,8 @@ class PlanCache(LRUCache):
         plan = self.lookup(key)
         if plan is None:
             plan = build_noise_plan(circuit, noise_model, fusion)
+            if validate:
+                _validate_noise_plan(plan, circuit, noise_model)
             self.store(key, plan)
         return plan
 
@@ -130,9 +175,12 @@ def get_plan(
     fusion: str = "full",
     *,
     cache: Optional[PlanCache] = None,
+    validate: bool = False,
 ) -> ExecutionPlan:
     """Cached trace + lower of *circuit* at the given fusion level."""
-    return (cache or _GLOBAL_CACHE).plan_for(circuit, fusion)
+    return (cache or _GLOBAL_CACHE).plan_for(
+        circuit, fusion, validate=validate
+    )
 
 
 def get_noise_plan(
@@ -141,8 +189,9 @@ def get_noise_plan(
     fusion: str = "full",
     *,
     cache: Optional[PlanCache] = None,
+    validate: bool = False,
 ) -> NoisePlan:
     """Cached noise-bound trace of (*circuit*, *noise_model*)."""
     return (cache or _GLOBAL_NOISE_CACHE).noise_plan_for(
-        circuit, noise_model, fusion
+        circuit, noise_model, fusion, validate=validate
     )

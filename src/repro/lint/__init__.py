@@ -1,0 +1,23 @@
+"""Determinism linter: AST rules for the repo's own invariants.
+
+``python -m repro.lint src/`` (or ``repro lint``) checks library code
+for unseeded RNG construction, stdlib ``random`` usage, registrations
+that cannot cross the process-pool pickle boundary, and fingerprints
+bypassing :mod:`repro._hashing`.  See :mod:`repro.lint.rules` for the
+rule catalogue and :mod:`repro.lint.baseline` for grandfathering.
+"""
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .cli import main
+from .rules import RULES, LintViolation, lint_file, lint_source
+
+__all__ = [
+    "Baseline",
+    "LintViolation",
+    "RULES",
+    "lint_file",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "write_baseline",
+]

@@ -1,0 +1,89 @@
+"""Baseline handling: grandfather known violations, with justifications.
+
+The baseline file (``lint-baseline.json`` at the repo root by default)
+records violations that existed when the linter landed, each with a
+human-written justification.  A finding matches a baseline entry on
+``(path suffix, rule, stripped source line)`` — deliberately *not* on
+line numbers, so unrelated edits above a grandfathered line do not
+resurrect it, while any change to the offending line itself retires
+the entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from .rules import LintViolation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+
+def _norm(path: str) -> str:
+    return Path(path).as_posix().lstrip("./")
+
+
+class Baseline:
+    """A set of grandfathered violations."""
+
+    def __init__(self, entries: List[Dict[str, Any]]) -> None:
+        self.entries = entries
+        self._index = {
+            (_norm(e.get("path", "")), e.get("rule", ""), e.get("snippet", ""))
+            for e in entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, violation: LintViolation) -> bool:
+        vpath = _norm(violation.path)
+        for path, rule, snippet in self._index:
+            if rule != violation.rule or snippet != violation.snippet:
+                continue
+            if vpath == path or vpath.endswith("/" + path) or path.endswith(
+                "/" + vpath
+            ):
+                return True
+        return False
+
+    def split(
+        self, violations: List[LintViolation]
+    ) -> Tuple[List[LintViolation], List[LintViolation]]:
+        """(new violations, baselined violations)."""
+        fresh: List[LintViolation] = []
+        grandfathered: List[LintViolation] = []
+        for violation in violations:
+            (grandfathered if self.matches(violation) else fresh).append(
+                violation
+            )
+        return fresh, grandfathered
+
+
+def load_baseline(path: Path | str | None) -> Baseline:
+    if path is None:
+        return Baseline([])
+    path = Path(path)
+    if not path.exists():
+        return Baseline([])
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return Baseline(list(data.get("entries", [])))
+
+
+def write_baseline(
+    path: Path | str, violations: List[LintViolation]
+) -> None:
+    """Write a baseline grandfathering *violations* (fill in reasons!)."""
+    entries = [
+        {
+            "path": _norm(v.path),
+            "rule": v.rule,
+            "snippet": v.snippet,
+            "justification": "TODO: justify or fix",
+        }
+        for v in violations
+    ]
+    Path(path).write_text(
+        json.dumps({"entries": entries}, indent=2) + "\n", encoding="utf-8"
+    )

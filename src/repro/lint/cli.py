@@ -1,0 +1,121 @@
+"""``python -m repro.lint`` / ``repro lint`` — the determinism linter.
+
+Exit codes: 0 clean (or fully baselined), 2 when new violations exist
+— the same contract as ``repro verify-plan``, so CI and external
+tooling can consume either uniformly.  ``--format json`` emits a
+machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import load_baseline, write_baseline
+from .rules import LintViolation, lint_file
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _collect_files(paths: List[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism linter for repro library code",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline JSON (default: {_DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write current violations as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    files = _collect_files(args.paths or ["src"])
+    violations: List[LintViolation] = []
+    for path in files:
+        violations.extend(lint_file(path))
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, violations)
+        print(
+            f"wrote {len(violations)} entr(y/ies) to {args.write_baseline}"
+        )
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        default = Path(_DEFAULT_BASELINE)
+        baseline_path = str(default) if default.exists() else None
+    if args.no_baseline:
+        baseline_path = None
+    baseline = load_baseline(baseline_path)
+    fresh, grandfathered = baseline.split(violations)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "checked_files": len(files),
+                    "violations": [v.to_dict() for v in fresh],
+                    "baselined": [v.to_dict() for v in grandfathered],
+                    "ok": not fresh,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in fresh:
+            print(violation)
+        suffix = (
+            f" ({len(grandfathered)} baselined)" if grandfathered else ""
+        )
+        if fresh:
+            print(
+                f"{len(fresh)} violation(s) in {len(files)} file(s)"
+                f"{suffix}"
+            )
+        else:
+            print(f"clean: {len(files)} file(s){suffix}")
+    return 0 if not fresh else 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

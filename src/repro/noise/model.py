@@ -9,11 +9,11 @@ applying each gate.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._hashing import new_digest
 from ..circuits.instruction import Instruction
 from .channels import QuantumChannel, ReadoutError
 
@@ -173,7 +173,7 @@ class NoiseModel:
         """
         if self._fingerprint is not None:
             return self._fingerprint
-        digest = hashlib.blake2b(digest_size=16)
+        digest = new_digest(digest_size=16)
         for name in sorted(self._gate_errors):
             digest.update(b"G")
             digest.update(name.encode())

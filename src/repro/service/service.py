@@ -336,6 +336,7 @@ class JobService:
 
     def stats(self) -> Dict[str, Any]:
         """Queue, worker, coalescing and cache counters."""
+        from ..analysis.static.contracts import validation_stats
         from ..execution.plan_cache import (
             get_noise_plan_cache,
             get_plan_cache,
@@ -385,6 +386,9 @@ class JobService:
             },
             # trajectory-ensemble runs per implementation
             "trajectories": trajectory_mode_counts(),
+            # static plan verification (repro.analysis.static): plans
+            # contract-checked this process + violations found
+            "plan_validation": validation_stats(),
         }
 
     # ------------------------------------------------------------------

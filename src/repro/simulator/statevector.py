@@ -216,10 +216,15 @@ class Statevector:
     def sample_counts(
         self,
         shots: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: Union[np.random.Generator, int, None] = None,
         qubits: Optional[Sequence[int]] = None,
     ) -> Dict[str, int]:
         """Sample *shots* measurement outcomes without collapsing.
+
+        *rng* must be a ``numpy`` Generator or an integer seed —
+        sampling from OS entropy would break the repo-wide
+        bit-identical-reruns contract that every cache key and
+        checkpoint depends on.
 
         Returns a ``bitstring -> count`` dict.  When *qubits* is given,
         only those qubits appear in the bitstring (qubits[0] being the
@@ -227,7 +232,13 @@ class Statevector:
         is ordered with qubits[0] right-most).
         """
         if rng is None:
-            rng = np.random.default_rng()
+            raise ValueError(
+                "sample_counts requires an explicit rng: pass a seeded "
+                "np.random.Generator or an integer seed (unseeded "
+                "sampling is non-deterministic)"
+            )
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
         probs = self.probabilities()
         total = probs.sum()
         # renormalise only on real drift (non-unitary Kraus evolution);

@@ -1,0 +1,118 @@
+"""Edge cases for the lightweight analyses: empty circuits, single gates,
+zero-duration calibration entries."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    boundary_detection_score,
+    estimate_success_probability,
+    schedule_circuit,
+    window_divergence_profile,
+)
+from repro.circuits import QuantumCircuit
+from repro.noise.backend import Backend, GateCalibration, QubitCalibration
+
+
+def _flat_backend(n, duration_us):
+    """A two-qubit-line backend whose every gate takes *duration_us*."""
+    qubits = [
+        QubitCalibration(
+            t1_us=80.0, t2_us=70.0, readout_p10=0.02, readout_p01=0.01
+        )
+        for _ in range(n)
+    ]
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Backend(
+        name=f"flat-{n}",
+        num_qubits=n,
+        coupling_edges=edges,
+        basis_gates=["id", "rz", "sx", "x", "cx"],
+        qubits=qubits,
+        single_qubit_gates={
+            i: GateCalibration(error=3e-4, duration_us=duration_us)
+            for i in range(n)
+        },
+        two_qubit_gates={
+            edge: GateCalibration(error=8e-3, duration_us=duration_us)
+            for edge in edges
+        },
+    )
+
+
+class TestScheduleEdgeCases:
+    def test_empty_circuit_schedules_to_zero(self):
+        schedule = schedule_circuit(QuantumCircuit(3))
+        assert schedule.total_duration_us == 0.0
+        assert schedule.spans == []
+        assert schedule.qubit_idle_us(0) == 0.0
+
+    def test_single_gate_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        backend = _flat_backend(2, duration_us=0.25)
+        schedule = schedule_circuit(qc, backend)
+        assert len(schedule.spans) == 1
+        span = schedule.spans[0]
+        assert span.start_us == 0.0
+        assert span.duration_us == 0.25
+        assert span.end_us == 0.25
+        assert schedule.total_duration_us == 0.25
+
+    def test_zero_duration_calibration_entries(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).x(1)
+        backend = _flat_backend(2, duration_us=0.0)
+        schedule = schedule_circuit(qc, backend)
+        assert schedule.total_duration_us == 0.0
+        assert all(s.duration_us == 0.0 for s in schedule.spans)
+        # with zero durations there is no decoherence: success probability
+        # reduces to gate errors x readout alone
+        p = estimate_success_probability(qc, backend)
+        expected = (
+            (1 - 3e-4) * (1 - 8e-3) * (1 - 3e-4)
+            * (1 - 0.015) ** 2  # average readout error per measured qubit
+        )
+        assert p == pytest.approx(expected, rel=1e-9)
+
+    def test_measure_only_circuit_has_no_spans(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        schedule = schedule_circuit(qc)
+        assert schedule.spans == []
+        assert schedule.total_duration_us == 0.0
+
+    def test_success_probability_empty_circuit_is_readout_only(self):
+        backend = _flat_backend(2, duration_us=0.1)
+        p = estimate_success_probability(
+            QuantumCircuit(2), backend, measured_qubits=[0]
+        )
+        # T=0 so exp(-T/T1)=1; only qubit 0's readout remains
+        assert p == pytest.approx(1 - 0.015, rel=1e-9)
+
+
+class TestLeakageEdgeCases:
+    def test_empty_circuit_profile_is_empty(self):
+        assert window_divergence_profile(QuantumCircuit(2)) == []
+
+    def test_single_gate_profile_is_flat_zero(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        assert window_divergence_profile(qc) == [0.0]
+
+    def test_boundary_score_requires_boundaries(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        with pytest.raises(ValueError):
+            boundary_detection_score(qc, [])
+
+    def test_boundary_score_zero_on_empty_profile(self):
+        assert boundary_detection_score(QuantumCircuit(2), [0]) == 0.0
+
+    def test_boundary_score_zero_on_flat_profile(self):
+        # a homogeneous circuit has an all-zero divergence profile
+        qc = QuantumCircuit(1)
+        for _ in range(8):
+            qc.h(0)
+        assert boundary_detection_score(qc, [4]) == 0.0

@@ -1,0 +1,255 @@
+"""Contract checker: every real plan passes, every corruption is caught."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.static import (
+    PlanContractError,
+    check_noise_plan,
+    check_plan,
+    reset_validation_stats,
+    validation_stats,
+    verify_plan,
+)
+from repro.circuits import (
+    QuantumCircuit,
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    grover_circuit,
+    qft_circuit,
+)
+from repro.execution.noise_plan import build_noise_plan
+from repro.execution.plan import FUSION_LEVELS, PlanOp, build_plan
+from repro.execution.plan_cache import PlanCache, get_plan
+from repro.noise import fake_valencia, valencia_like_backend
+from repro.revlib import benchmark_circuit
+from repro.revlib.benchmarks import benchmark_names
+
+
+def _library_circuits():
+    yield "ghz", ghz_circuit(4)
+    yield "bv", bernstein_vazirani_circuit("1011")
+    yield "grover", grover_circuit(3)
+    yield "qft", qft_circuit(4)
+    for name in benchmark_names():
+        yield name, benchmark_circuit(name)
+
+
+class TestPlanContracts:
+    @pytest.mark.parametrize("fusion", FUSION_LEVELS)
+    def test_every_benchmark_passes_every_level(self, fusion):
+        for name, circuit in _library_circuits():
+            report = check_plan(build_plan(circuit, fusion), circuit)
+            assert report.ok, f"{name}@{fusion}: {report.violations}"
+            assert report.checks > 0
+
+    @pytest.mark.parametrize("fusion", FUSION_LEVELS)
+    def test_noisy_plan_path_fake_backend(self, fusion):
+        model = fake_valencia().noise_model()
+        for name in ("4gt13", "one_bit_adder"):
+            circuit = benchmark_circuit(name)
+            plan = build_noise_plan(circuit, model, fusion)
+            report = check_noise_plan(plan, circuit, model)
+            assert report.ok, f"{name}@{fusion}: {report.violations}"
+
+    def test_noisy_plan_mid_circuit_measures(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).measure(0, 0).x(1).cx(0, 1).measure(1, 1)
+        model = valencia_like_backend(2).noise_model()
+        plan = build_noise_plan(qc, model, "full")
+        assert not plan.terminal
+        report = check_noise_plan(plan, qc, model)
+        assert report.ok, report.violations
+
+    def test_mutated_fused_matrix_rejected_precisely(self):
+        circuit = benchmark_circuit("4gt13")
+        plan = build_plan(circuit, "full")
+        ops = list(plan.ops)
+        idx = next(i for i, op in enumerate(ops) if op.kind == "matrix")
+        bad = ops[idx].matrix.copy()
+        bad[0, 0] += 0.5
+        ops[idx] = PlanOp("matrix", ops[idx].qubits, matrix=bad)
+        plan.ops = tuple(ops)
+        report = check_plan(plan)
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert "unitarity" in rules
+        # the report names the exact op
+        locations = {v.location for v in report.violations}
+        assert f"ops[{idx}]" in locations
+
+    def test_out_of_range_qubit_rejected(self):
+        circuit = ghz_circuit(3)
+        plan = build_plan(circuit, "none")
+        ops = list(plan.ops)
+        ops[0] = PlanOp("matrix", (7,), matrix=ops[0].matrix)
+        plan.ops = tuple(ops)
+        report = check_plan(plan)
+        rules = {v.rule for v in report.violations}
+        assert "qubit-range" in rules
+
+    def test_non_ascending_diagonal_rejected(self):
+        circuit = QuantumCircuit(3)
+        circuit.t(0).cz(0, 1).cp(0.3, 1, 2)
+        plan = build_plan(circuit, "full")
+        ops = list(plan.ops)
+        idx = next(
+            (i for i, op in enumerate(ops) if op.kind == "diagonal"), None
+        )
+        assert idx is not None, "all-diagonal circuit should fuse to a diagonal op"
+        op = ops[idx]
+        assert len(op.qubits) >= 2
+        ops[idx] = PlanOp(
+            "diagonal", tuple(reversed(op.qubits)), diag=op.diag
+        )
+        plan.ops = tuple(ops)
+        report = check_plan(plan)
+        assert any(
+            v.rule == "diagonal-structure" for v in report.violations
+        )
+
+    def test_measure_order_mismatch_rejected(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+        plan = build_plan(qc, "full")
+        plan.measured = ((1, 1), (0, 0))  # swapped program order
+        report = check_plan(plan, qc)
+        assert any(v.rule == "measure-order" for v in report.violations)
+
+    def test_channel_binding_corruption_rejected(self):
+        model = fake_valencia().noise_model()
+        circuit = benchmark_circuit("4gt13")
+        plan = build_noise_plan(circuit, model, "full")
+        steps = list(plan.steps)
+        idx = next(
+            i for i, step in enumerate(steps) if step[0] == "channel"
+        )
+        binding = steps[idx][1]
+        # break the cumulative table (no longer sums to 1)
+        binding.cumulative = binding.cumulative * 0.5
+        report = check_noise_plan(plan)
+        assert any(
+            v.rule == "cumulative-table" for v in report.violations
+        )
+
+    def test_anchor_crossing_detected(self):
+        """Fusing two gates across a channel anchor is rejected."""
+        model = valencia_like_backend(2).noise_model()
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        plan = build_noise_plan(qc, model, "none")
+        # corrupt: merge both spans' ops into the first span, emptying
+        # the second — simulating a fusion pass that ignored the anchor
+        steps = list(plan.steps)
+        span_indices = [
+            i for i, step in enumerate(steps) if step[0] == "span"
+        ]
+        assert len(span_indices) >= 2
+        first, second = span_indices[0], span_indices[1]
+        merged = steps[first][1] + steps[second][1]
+        steps[first] = ("span", merged)
+        del steps[second]
+        plan.steps = tuple(steps)
+        report = check_noise_plan(plan, qc, model)
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert rules & {"anchor-structure", "anchor-crossing"}
+
+
+class TestValidateKnob:
+    def test_get_plan_validate_passes_clean(self):
+        circuit = ghz_circuit(4)
+        cache = PlanCache()
+        plan = get_plan(circuit, "full", cache=cache, validate=True)
+        assert plan.num_qubits == 4
+
+    def test_cache_validate_noise_plan(self):
+        model = fake_valencia().noise_model()
+        circuit = benchmark_circuit("4gt13")
+        cache = PlanCache()
+        plan = cache.noise_plan_for(circuit, model, "full", validate=True)
+        assert plan.num_channels > 0
+
+    def test_validate_raises_with_full_report(self, monkeypatch):
+        import repro.execution.plan_cache as plan_cache_mod
+
+        circuit = ghz_circuit(3)
+        good = build_plan(circuit, "full")
+        ops = list(good.ops)
+        bad = ops[0].to_matrix().copy()
+        bad[0, 0] += 1.0
+        ops[0] = PlanOp("matrix", ops[0].qubits, matrix=bad)
+        good.ops = tuple(ops)
+        monkeypatch.setattr(
+            plan_cache_mod, "build_plan", lambda c, f: good
+        )
+        cache = PlanCache()
+        with pytest.raises(PlanContractError) as excinfo:
+            cache.plan_for(circuit, "full", validate=True)
+        assert excinfo.value.report.violations
+        assert "unitarity" in str(excinfo.value)
+
+    def test_broken_plan_not_cached(self, monkeypatch):
+        import repro.execution.plan_cache as plan_cache_mod
+
+        circuit = ghz_circuit(3)
+        broken = build_plan(circuit, "full")
+        ops = list(broken.ops)
+        bad = ops[0].to_matrix().copy()
+        bad[0, 0] += 1.0
+        ops[0] = PlanOp("matrix", ops[0].qubits, matrix=bad)
+        broken.ops = tuple(ops)
+        monkeypatch.setattr(
+            plan_cache_mod, "build_plan", lambda c, f: broken
+        )
+        cache = PlanCache()
+        with pytest.raises(PlanContractError):
+            cache.plan_for(circuit, "full", validate=True)
+        monkeypatch.undo()
+        # the poisoned plan must not have been stored
+        plan = cache.plan_for(circuit, "full", validate=True)
+        report = check_plan(plan, circuit)
+        assert report.ok
+
+
+class TestValidationCounters:
+    def test_counters_track_checks_and_violations(self):
+        reset_validation_stats()
+        circuit = ghz_circuit(3)
+        check_plan(build_plan(circuit, "full"), circuit)
+        plan = build_plan(circuit, "full")
+        ops = list(plan.ops)
+        bad = ops[0].to_matrix().copy()
+        bad[0, 0] += 1.0
+        ops[0] = PlanOp("matrix", ops[0].qubits, matrix=bad)
+        plan.ops = tuple(ops)
+        check_plan(plan)
+        stats = validation_stats()
+        assert stats["plans_checked"] == 2
+        assert stats["violations"] >= 1
+        reset_validation_stats()
+        assert validation_stats()["plans_checked"] == 0
+
+    def test_service_stats_expose_plan_validation(self):
+        from repro.service import JobService
+
+        service = JobService(workers=1)
+        stats = service.stats()
+        assert "plan_validation" in stats
+        assert set(stats["plan_validation"]) == {
+            "plans_checked",
+            "noise_plans_checked",
+            "violations",
+        }
+
+
+class TestVerifyPlanOrchestrator:
+    def test_verify_plan_noiseless_and_noisy(self):
+        circuit = benchmark_circuit("4gt13")
+        model = valencia_like_backend(circuit.num_qubits).noise_model()
+        result = verify_plan(circuit, "full", model)
+        assert result.ok
+        assert result.noise is not None and result.noise.ok
+        payload = result.to_dict()
+        assert payload["ok"] and payload["noise"]["ok"]
+        assert any("contract" in line for line in result.summary_lines())

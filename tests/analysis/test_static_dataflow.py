@@ -1,0 +1,128 @@
+"""Dataflow pass: def-use chains, light cones, dead ops, lowering proofs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.static import (
+    dead_ops,
+    def_use_chains,
+    light_cone,
+    verify_lowering,
+)
+from repro.circuits import QuantumCircuit, ghz_circuit
+from repro.execution.plan import FUSION_LEVELS, build_plan
+from repro.revlib import benchmark_circuit
+from repro.revlib.benchmarks import benchmark_names
+
+
+def _source_ops(circuit):
+    return build_plan(circuit, "none").source_ops
+
+
+class TestChains:
+    def test_def_use_chains_ghz(self):
+        # ghz(3): h q0; cx q0,q1; cx q1,q2
+        ops = _source_ops(ghz_circuit(3))
+        chains = def_use_chains(ops)
+        assert chains[0] == [0, 1]
+        assert chains[1] == [1, 2]
+        assert chains[2] == [2]
+
+    def test_light_cone_backward(self):
+        ops = _source_ops(ghz_circuit(3))
+        # the cone of q2 is everything: cx(1,2) <- cx(0,1) <- h(0)
+        assert light_cone(ops, [2]) == [0, 1, 2]
+        # the cone of q0 alone stops at ops touching q0
+        assert light_cone(ops, [0]) == [0, 1]
+
+    def test_light_cone_disjoint_qubit(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).x(2)
+        ops = _source_ops(qc)
+        assert light_cone(ops, [2]) == [2]
+
+    def test_dead_ops_flags_identity_products(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).x(0)
+        plan = build_plan(qc, "full")
+        dead = dead_ops(plan.ops)
+        # x·x == I: the fused op is dead
+        assert dead == [0]
+
+    def test_dead_ops_empty_on_real_work(self):
+        plan = build_plan(ghz_circuit(3), "full")
+        assert dead_ops(plan.ops) == []
+
+
+class TestVerifyLowering:
+    @pytest.mark.parametrize("fusion", FUSION_LEVELS)
+    def test_all_benchmarks_verify(self, fusion):
+        for name in benchmark_names():
+            circuit = benchmark_circuit(name)
+            plan = build_plan(circuit, fusion)
+            report = verify_lowering(
+                plan.source_ops, plan.ops, plan.num_qubits
+            )
+            assert report.ok, f"{name}@{fusion}: {report.violations}"
+
+    def test_provenance_recorded(self):
+        plan = build_plan(ghz_circuit(3), "full")
+        report = verify_lowering(plan.source_ops, plan.ops, 3)
+        assert report.ok
+        provenance = report.metadata["provenance"]
+        assert len(provenance) == len(plan.ops)
+        consumed = [i for group in provenance for i in group]
+        assert consumed == sorted(consumed)
+
+    def test_self_inverse_pair_absorbed(self):
+        """h,x,x fuses to h — last-match-wins must consume the x,x pair."""
+        qc = QuantumCircuit(1)
+        qc.h(0).x(0).x(0)
+        plan = build_plan(qc, "full")
+        report = verify_lowering(plan.source_ops, plan.ops, 1)
+        assert report.ok, report.violations
+
+    def test_reordered_non_commuting_ops_rejected(self):
+        plan = build_plan(ghz_circuit(3), "none")
+        ops = list(plan.ops)
+        # swap h(0) and cx(0,1): they do not commute
+        ops[0], ops[1] = ops[1], ops[0]
+        report = verify_lowering(plan.source_ops, tuple(ops), 3)
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.rule == "lowering-order"
+        # the report names the blocking source op precisely
+        assert "blocked" in violation.message
+        assert "h" in violation.message or "cx" in violation.message
+
+    def test_dropped_op_is_coverage_violation(self):
+        plan = build_plan(ghz_circuit(3), "none")
+        report = verify_lowering(plan.source_ops, plan.ops[:-1], 3)
+        assert not report.ok
+        assert any(
+            v.rule == "lowering-coverage" for v in report.violations
+        )
+
+    def test_wrong_matrix_rejected(self):
+        plan = build_plan(ghz_circuit(3), "full")
+        ops = list(plan.ops)
+        z = np.diag([1.0, -1.0]).astype(complex)
+        first = ops[0]
+        k = len(first.qubits)
+        corrupted = first.to_matrix().copy()
+        full_z = z
+        for _ in range(k - 1):
+            full_z = np.kron(full_z, np.eye(2))
+        from repro.execution.plan import PlanOp
+
+        ops[0] = PlanOp(
+            "matrix", first.qubits, matrix=full_z @ corrupted
+        )
+        report = verify_lowering(plan.source_ops, tuple(ops), 3)
+        assert not report.ok
+
+    def test_empty_circuit_trivially_verifies(self):
+        qc = QuantumCircuit(2)
+        plan = build_plan(qc, "full")
+        report = verify_lowering(plan.source_ops, plan.ops, 2)
+        assert report.ok

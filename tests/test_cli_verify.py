@@ -1,0 +1,94 @@
+"""CLI tests for `repro verify-plan` and the `repro lint` forwarding stub."""
+
+import json
+
+import pytest
+
+from repro.circuits import ghz_circuit, to_qasm
+from repro.cli import main
+
+
+class TestVerifyPlan:
+    def test_benchmark_all_levels_text(self, capsys):
+        code = main(["verify-plan", "--benchmark", "4gt13"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for fusion in ("none", "1q", "full"):
+            assert fusion in out
+        assert "ok" in out
+
+    def test_single_level_json(self, capsys):
+        code = main(
+            [
+                "verify-plan",
+                "--benchmark",
+                "4gt13",
+                "--fuse",
+                "full",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        results = payload["results"]
+        assert len(results) == 1 and results[0]["fusion"] == "full"
+
+    def test_noisy_path(self, capsys):
+        code = main(
+            ["verify-plan", "--benchmark", "4gt13", "--fuse", "full", "--noisy"]
+        )
+        assert code == 0
+        assert "noise" in capsys.readouterr().out
+
+    def test_qasm_circuit_input_certifies_clifford(self, tmp_path, capsys):
+        path = tmp_path / "ghz.qasm"
+        path.write_text(to_qasm(ghz_circuit(4)))
+        code = main(
+            ["verify-plan", "--circuit", str(path), "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        statuses = {
+            result["tableau"]["status"] for result in payload["results"]
+        }
+        assert statuses == {"certified"}
+
+    def test_unknown_benchmark_exits_two(self, capsys):
+        code = main(["verify-plan", "--benchmark", "nope"])
+        assert code == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_missing_circuit_file_exits_two(self, capsys):
+        code = main(["verify-plan", "--circuit", "/does/not/exist.qasm"])
+        assert code == 2
+
+
+class TestLintForwarding:
+    def test_lint_clean_dir(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n")
+        code = main(["lint", str(pkg), "--no-baseline"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violation_exit_code(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import random\n")
+        code = main(["lint", str(pkg), "--no-baseline"])
+        assert code == 2
+        assert "stdlib-random" in capsys.readouterr().out
+
+    def test_lint_forwards_format_flag(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import random\n")
+        code = main(
+            ["lint", str(pkg), "--no-baseline", "--format", "json"]
+        )
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
